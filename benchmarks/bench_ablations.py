@@ -1,0 +1,126 @@
+"""Ablations of design choices DESIGN.md calls out.
+
+Not paper figures — these isolate mechanisms the paper's design rests on:
+
+- receiver-side hash-chain batch verification (§4.4) is what makes
+  aom-pk viable: force one signature verification per packet and NeoBFT-PK
+  collapses;
+- baseline batching is the knob behind the Figure 7 factors: PBFT's
+  throughput/latency trade-off across batch caps;
+- NeoBFT's periodic state sync (B.2) is cheap: throughput is flat across
+  sync intervals.
+"""
+
+import pytest
+
+from repro.runtime import ClusterOptions
+from repro.runtime.harness import run_once
+from repro.sim.clock import ms
+
+from benchmarks.bench_common import fmt_row, report
+
+
+def test_ablation_pk_chain_batch_verification(benchmark):
+    # The receiver-lib knobs are not exposed through ClusterOptions, so
+    # patch the library defaults per run.
+    from repro.aom import receiver as receiver_module
+
+    def run_with(batch_max, interval_ns):
+        original = receiver_module.AomReceiverLib.__init__
+
+        def patched(self, *args, **kwargs):
+            kwargs["pk_batch_max"] = batch_max
+            kwargs["pk_verify_interval_ns"] = interval_ns
+            original(self, *args, **kwargs)
+
+        receiver_module.AomReceiverLib.__init__ = patched
+        try:
+            return run_once(
+                ClusterOptions(protocol="neobft-pk", num_clients=64, seed=7),
+                warmup_ns=ms(2), duration_ns=ms(7),
+            )
+        finally:
+            receiver_module.AomReceiverLib.__init__ = original
+
+    def sweep():
+        return [
+            (1, run_with(1, 1)),        # verify every signed packet
+            (8, run_with(8, 25_000)),
+            (32, run_with(32, 25_000)),  # the default
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    widths = [12, 14, 12]
+    lines = [
+        "NeoBFT-PK vs receiver verification batching (§4.4 ablation)",
+        fmt_row(["batch max", "tput (K/s)", "p50 (us)"], widths),
+    ]
+    for batch_max, result in results:
+        lines.append(
+            fmt_row([batch_max, f"{result.throughput_ops/1e3:.1f}",
+                     f"{result.median_latency_us:.1f}"], widths)
+        )
+    report("ablation_pk_batch_verify", lines)
+    unbatched = results[0][1].throughput_ops
+    batched = results[2][1].throughput_ops
+    assert batched > 3.0 * unbatched  # chain batching is load-bearing
+
+
+def test_ablation_pbft_batch_cap(benchmark):
+    def sweep():
+        results = []
+        for cap in (1, 4, 16, 64):
+            result = run_once(
+                ClusterOptions(protocol="pbft", num_clients=64, seed=7, batch_size=cap),
+                warmup_ns=ms(2), duration_ns=ms(7),
+            )
+            results.append((cap, result))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    widths = [10, 14, 12]
+    lines = [
+        "PBFT throughput vs batch cap (the baseline-calibration knob)",
+        fmt_row(["batch", "tput (K/s)", "p50 (us)"], widths),
+    ]
+    for cap, result in results:
+        lines.append(
+            fmt_row([cap, f"{result.throughput_ops/1e3:.1f}",
+                     f"{result.median_latency_us:.1f}"], widths)
+        )
+    report("ablation_pbft_batch", lines)
+    by_cap = dict(results)
+    assert by_cap[64].throughput_ops > 2.0 * by_cap[1].throughput_ops
+    assert by_cap[16].throughput_ops > by_cap[4].throughput_ops
+
+
+def test_ablation_neobft_sync_interval(benchmark):
+    def sweep():
+        results = []
+        for interval in (32, 256, 2048):
+            result = run_once(
+                ClusterOptions(
+                    protocol="neobft-hm", num_clients=64, seed=7,
+                    replica_kwargs={"sync_interval": interval},
+                ),
+                warmup_ns=ms(2), duration_ns=ms(7),
+            )
+            results.append((interval, result))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    widths = [10, 14, 14]
+    lines = [
+        "NeoBFT-HM throughput vs state-sync interval (B.2 overhead)",
+        fmt_row(["interval", "tput (K/s)", "sync points"], widths),
+    ]
+    for interval, result in results:
+        lines.append(
+            fmt_row([interval, f"{result.throughput_ops/1e3:.1f}",
+                     result.replica_metrics.get("sync_points", 0)], widths)
+        )
+    report("ablation_sync_interval", lines)
+    tputs = [r.throughput_ops for _, r in results]
+    # MAC-vector syncs are cheap: even a 64x denser sync schedule costs
+    # little throughput.
+    assert min(tputs) > 0.85 * max(tputs)

@@ -1,0 +1,39 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (§6) at laptop scale: simulated durations and populations are
+scaled down (documented per bench), absolute numbers come from the
+calibrated cost model, and the *shape* — who wins, rough factors,
+crossovers — is the reproduction target recorded in EXPERIMENTS.md.
+
+Results are printed and also written to ``benchmarks/results/*.txt`` so a
+``pytest benchmarks/ --benchmark-only`` run leaves artifacts behind even
+with output capture on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, lines: Iterable[str]) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def fmt_row(columns: List[object], widths: List[int]) -> str:
+    """Fixed-width table row."""
+    return "  ".join(str(col).ljust(width) for col, width in zip(columns, widths))
+
+
+def knee(results):
+    """Highest-throughput point of a latency/throughput sweep."""
+    return max(results, key=lambda r: r.throughput_ops)

@@ -1,0 +1,79 @@
+"""§6.4 sequencer failover: throughput timeline around a switch failure.
+
+Paper result: throughput drops to zero immediately when the sequencer
+fails; the view change itself finishes in <200 us; the end-to-end outage
+is <100 ms, dominated by network-level reconfiguration rather than the
+protocol.
+"""
+
+import pytest
+
+from repro.faults.sequencer import fail_sequencer
+from repro.runtime import ClusterOptions, Measurement, build_cluster
+from repro.sim.clock import ms
+from repro.sim.monitor import TimeSeries
+
+from benchmarks.bench_common import fmt_row, report
+
+KILL_AT = ms(40)
+BUCKET = ms(5)
+TOTAL = ms(260)
+
+
+def run_timeline():
+    options = ClusterOptions(protocol="neobft-hm", num_clients=8, seed=7)
+    cluster = build_cluster(options)
+    sim = cluster.sim
+    measurement = Measurement(cluster, warmup_ns=ms(2), duration_ns=TOTAL)
+
+    buckets = {}
+    completion_times = []
+    for client in cluster.clients:
+        original = client.on_complete
+
+        def hook(request_id, latency, result, _orig=original):
+            buckets[sim.now // BUCKET] = buckets.get(sim.now // BUCKET, 0) + 1
+            completion_times.append(sim.now)
+            _orig(request_id, latency, result)
+
+        client.on_complete = hook
+
+    sim.schedule(KILL_AT, lambda: fail_sequencer(cluster.config_service.sequencer_for(1)))
+    measurement.run()
+
+    recovery_at = min((t for t in completion_times if t > KILL_AT + ms(1)), default=None)
+    return cluster, buckets, recovery_at
+
+
+def test_failover_timeline(benchmark):
+    cluster, buckets, recovery_at = benchmark.pedantic(run_timeline, rounds=1, iterations=1)
+    widths = [12, 16]
+    lines = [
+        f"throughput timeline, sequencer killed at {KILL_AT/1e6:.0f} ms "
+        "(paper: outage < 100 ms, view change < 200 us)",
+        fmt_row(["t (ms)", "ops per bucket"], widths),
+    ]
+    last_bucket = int(TOTAL + ms(10)) // BUCKET
+    for index in range(last_bucket):
+        lines.append(fmt_row([f"{index * BUCKET / 1e6:.0f}", buckets.get(index, 0)], widths))
+    outage_ms = (recovery_at - KILL_AT) / 1e6 if recovery_at else float("inf")
+    metrics = cluster.replicas[0].metrics
+    lines.append("")
+    lines.append(f"outage (kill -> first completion in new epoch): {outage_ms:.1f} ms")
+    lines.append(f"view changes: {metrics.get('view_changes_started')}, "
+                 f"epoch now: {cluster.config_service.current_epoch(1)}")
+    report("failover_timeline", lines)
+
+    kill_bucket = int(KILL_AT) // BUCKET
+    # Throughput hits zero during the outage...
+    assert any(
+        buckets.get(i, 0) == 0 for i in range(kill_bucket + 1, kill_bucket + 8)
+    )
+    # ...and recovers to its pre-failure level afterwards.
+    pre = buckets.get(kill_bucket - 2, 0)
+    post_buckets = [buckets.get(i, 0) for i in range(last_bucket - 6, last_bucket - 1)]
+    assert max(post_buckets) > 0.7 * pre
+    # End-to-end outage under 100 ms, exactly one failover, one view change.
+    assert outage_ms < 100.0
+    assert cluster.config_service.failovers_completed == 1
+    assert cluster.config_service.current_epoch(1) == 2

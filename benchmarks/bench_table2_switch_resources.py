@@ -1,0 +1,49 @@
+"""Table 2: switch resource usage of the aom-hm prototype.
+
+Regenerates the two-pipe utilization table by compiling the modeled P4
+program (ingress/sequencing on pipe 0; four unrolled HalfSipHash
+instances on pipe 1) against the normalized Tofino budget.
+
+Paper values: Pipe 0 — 7 stages, 0.8% action data, 2.0% hash bits,
+0% hash units, 3.4% VLIW; Pipe 1 — 12 stages, 12.8%, 21.2%, 77.8%, 12.0%.
+"""
+
+import pytest
+
+from repro.switchfab.hmac_pipeline import FoldedHmacPipeline
+
+from benchmarks.bench_common import fmt_row, report
+
+PAPER = {
+    "Pipe 0": (7, 0.8, 2.0, 0.0, 3.4),
+    "Pipe 1": (12, 12.8, 21.2, 77.8, 12.0),
+}
+
+
+def run_report():
+    pipeline = FoldedHmacPipeline([(i, bytes([i + 1]) * 8) for i in range(4)])
+    return pipeline.resource_report()
+
+
+def test_table2_switch_resources(benchmark):
+    reports = benchmark.pedantic(run_report, rounds=1, iterations=1)
+    widths = [8, 8, 13, 11, 11, 8]
+    lines = [
+        "switch resource usage (modeled program vs normalized Tofino budget)",
+        fmt_row(["module", "stages", "action data", "hash bit", "hash unit", "VLIW"], widths),
+    ]
+    for pipe in reports:
+        lines.append(fmt_row(list(pipe.row()), widths))
+    lines.append("")
+    lines.append("paper: Pipe 0 = 7 st / 0.8% / 2.0% / 0% / 3.4%;"
+                 " Pipe 1 = 12 st / 12.8% / 21.2% / 77.8% / 12.0%")
+    report("table2_switch_resources", lines)
+
+    by_name = {pipe.pipe: pipe for pipe in reports}
+    for name, (stages, action, hash_bits, hash_units, vliw) in PAPER.items():
+        pipe = by_name[name]
+        assert pipe.stages_used == stages
+        assert pipe.action_data_pct == pytest.approx(action, abs=0.15)
+        assert pipe.hash_bits_pct == pytest.approx(hash_bits, abs=0.3)
+        assert pipe.hash_units_pct == pytest.approx(hash_units, abs=0.5)
+        assert pipe.vliw_pct == pytest.approx(vliw, abs=0.3)

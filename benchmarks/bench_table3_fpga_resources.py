@@ -1,0 +1,53 @@
+"""Table 3: FPGA resource usage of the aom public-key coprocessor.
+
+Regenerates the utilization table from the modeled module inventory
+against the Alveo U50 budget (870K LUT / 1740K Register / 1.34K BRAM /
+5.94K DSP).
+
+Paper values: Pipeline 0.91/0.70/2.12/0.57%; Signer
+21.0/19.4/10.71/28.52%; Total 34.69/29.22/28.76/29.16%.
+"""
+
+import pytest
+
+from repro.switchfab.fpga import FPGA_BUDGET, FpgaCoprocessor
+
+from benchmarks.bench_common import fmt_row, report
+
+PAPER = {
+    "Pipeline": (0.91, 0.70, 2.12, 0.57),
+    "Signer": (21.0, 19.4, 10.71, 28.52),
+    "Total": (34.69, 29.22, 28.76, 29.16),
+}
+
+
+def test_table3_fpga_resources(benchmark):
+    rows = benchmark.pedantic(FpgaCoprocessor.resource_report, rounds=1, iterations=1)
+    widths = [16, 9, 10, 9, 9]
+    lines = [
+        "FPGA resource usage (module inventory vs Alveo U50 budget)",
+        fmt_row(["module", "LUT", "Register", "BRAM", "DSP"], widths),
+    ]
+    for name, lut, register, bram, dsp in rows:
+        lines.append(
+            fmt_row(
+                [name, f"{lut:.2f}%", f"{register:.2f}%", f"{bram:.2f}%", f"{dsp:.2f}%"],
+                widths,
+            )
+        )
+    lines.append("")
+    lines.append(
+        f"available: LUT {FPGA_BUDGET.lut/1000:.0f}K, Register "
+        f"{FPGA_BUDGET.register/1000:.0f}K, BRAM {FPGA_BUDGET.bram/1000:.2f}K, "
+        f"DSP {FPGA_BUDGET.dsp/1000:.2f}K"
+    )
+    report("table3_fpga_resources", lines)
+
+    by_name = {row[0]: row for row in rows}
+    for name, expected in PAPER.items():
+        row = by_name[name]
+        for value, target in zip(row[1:], expected):
+            assert value == pytest.approx(target, abs=0.35)
+    # Everything fits the card with headroom.
+    total = by_name["Total"]
+    assert all(pct < 40.0 for pct in total[1:])

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fault-tolerance demo: Byzantine replicas and a sequencer failover.
+
+Three acts:
+
+1. a replica goes silent — NeoBFT throughput does not care (the fast
+   path needs no coordination, so a missing replica costs nothing as
+   long as 2f+1 respond);
+2. a replica starts corrupting its replies — clients reject the bad MACs
+   and results stay correct;
+3. the sequencer switch dies mid-run — replicas detect it, agree on the
+   epoch boundary via a view change, the configuration service installs
+   a fresh sequencer, and throughput recovers (paper §6.4: < 100 ms).
+
+Run:  python examples/fault_tolerance_demo.py
+"""
+
+from repro.faults.behaviors import corrupt_replies, make_silent
+from repro.faults.sequencer import fail_sequencer
+from repro.runtime import ClusterOptions, Measurement, build_cluster
+from repro.sim.clock import ms
+
+
+def act(title: str) -> None:
+    print(f"\n--- {title} ---")
+
+
+def run_with(fault=None, duration=ms(30), describe=""):
+    options = ClusterOptions(protocol="neobft-hm", num_clients=8, seed=13)
+    cluster = build_cluster(options)
+    if fault is not None:
+        fault(cluster)
+    measurement = Measurement(cluster, warmup_ns=ms(2), duration_ns=duration)
+    result = measurement.run()
+    print(f"{describe:<28} {result.throughput_ops / 1e3:8.1f} K ops/s   "
+          f"p50 {result.median_latency_us:6.1f} us   "
+          f"completions {result.completions}")
+    return cluster, result
+
+
+def main() -> None:
+    act("baseline")
+    _, baseline = run_with(describe="no faults")
+
+    act("act 1: a silent Byzantine replica")
+    cluster, silent = run_with(
+        fault=lambda c: make_silent(c.replicas[3]),
+        describe="replica 3 silent",
+    )
+    change = silent.throughput_ops / baseline.throughput_ops - 1
+    print(f"throughput change vs baseline: {change:+.1%} "
+          "(paper: NeoBFT unaffected; Zyzzyva would lose >54%)")
+
+    act("act 2: a reply-corrupting Byzantine replica")
+    cluster, corrupted = run_with(
+        fault=lambda c: corrupt_replies(c.replicas[1]),
+        describe="replica 1 corrupting",
+    )
+    tampered = cluster.replicas[1].metrics.get("byzantine_corrupted")
+    print(f"replies tampered: {tampered}; all accepted results still came "
+          "from 2f+1 matching honest replies")
+
+    act("act 3: sequencer switch failure and failover")
+    options = ClusterOptions(protocol="neobft-hm", num_clients=8, seed=13)
+    cluster = build_cluster(options)
+    sim = cluster.sim
+    kill_at = ms(20)
+    sim.schedule(kill_at, lambda: fail_sequencer(cluster.config_service.sequencer_for(1)))
+    completions = []
+    measurement = Measurement(cluster, warmup_ns=ms(2), duration_ns=ms(220))
+    for client in cluster.clients:
+        original = client.on_complete
+        client.on_complete = (
+            lambda rid, lat, res, _o=original: (completions.append(sim.now), _o(rid, lat, res))
+        )
+    measurement.run()
+    recovery = min(t for t in completions if t > kill_at + ms(1))
+    print(f"sequencer killed at {kill_at / 1e6:.0f} ms; first post-failover "
+          f"completion at {recovery / 1e6:.1f} ms "
+          f"(outage {(recovery - kill_at) / 1e6:.1f} ms; paper: < 100 ms)")
+    print(f"epoch after failover: {cluster.config_service.current_epoch(1)}; "
+          f"replica views: {sorted({str(r.view_id) for r in cluster.replicas})}")
+
+
+if __name__ == "__main__":
+    main()

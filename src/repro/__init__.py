@@ -1,0 +1,27 @@
+"""NeoBFT reproduction: authenticated in-network ordering for BFT.
+
+A full-system Python reproduction of "NeoBFT: Accelerating Byzantine
+Fault Tolerance Using Authenticated In-Network Ordering" (SIGCOMM 2023)
+on a deterministic discrete-event simulation of a single-rack data
+center.
+
+Public entry points:
+
+- :func:`repro.runtime.build_cluster` /
+  :class:`repro.runtime.ClusterOptions` — assemble a system under test
+  (NeoBFT over aom, or any baseline protocol) in one call;
+- :class:`repro.runtime.Measurement` — drive closed-loop clients and
+  report throughput/latency;
+- :mod:`repro.runtime.microbench` — switch-side aom micro-benchmarks;
+- :mod:`repro.aom` — the authenticated ordered multicast primitive
+  itself, usable independently of any replication protocol;
+- :mod:`repro.faults` — Byzantine/fault injection for experiments.
+
+See README.md for a tour, DESIGN.md for the system inventory and
+modeling substitutions, and EXPERIMENTS.md for paper-vs-measured
+results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,103 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``       one measured run of a protocol (throughput + latency)
+- ``sweep``     a latency/throughput sweep over client counts
+- ``aom``       aom switch micro-benchmark (latency + saturation)
+- ``protocols`` list available protocols
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.aom.messages import AuthVariant
+from repro.runtime import ClusterOptions, latency_throughput_sweep
+from repro.runtime.cluster import ALL_PROTOCOLS
+from repro.runtime.harness import run_once
+from repro.runtime.microbench import run_offered_load, saturation_throughput
+from repro.sim.clock import ms
+
+
+def _cmd_run(args) -> int:
+    options = ClusterOptions(
+        protocol=args.protocol, f=args.f, num_clients=args.clients, seed=args.seed
+    )
+    result = run_once(options, warmup_ns=ms(args.warmup_ms), duration_ns=ms(args.duration_ms))
+    print(result.row())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    counts = [int(c) for c in args.clients.split(",")]
+    results = latency_throughput_sweep(
+        ClusterOptions(protocol=args.protocol, f=args.f, seed=args.seed),
+        counts,
+        warmup_ns=ms(args.warmup_ms),
+        duration_ns=ms(args.duration_ms),
+    )
+    for result in results:
+        print(result.row())
+    return 0
+
+
+def _cmd_aom(args) -> int:
+    variant = AuthVariant(args.variant)
+    saturation = saturation_throughput(variant, args.group, packets=args.packets)
+    print(f"saturation: {saturation / 1e6:.2f} Mpps (group {args.group})")
+    for load in (0.25, 0.50, 0.99):
+        result = run_offered_load(
+            variant, args.group, offered_pps=load * saturation, packets=args.packets
+        )
+        print(
+            f"load {load:4.0%}: p50 {result.median_us():7.2f} us   "
+            f"p99.9 {result.p999_us():7.2f} us"
+        )
+    return 0
+
+
+def _cmd_protocols(_args) -> int:
+    for protocol in ALL_PROTOCOLS:
+        print(protocol)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="one measured run")
+    run_parser.add_argument("protocol", choices=ALL_PROTOCOLS)
+    run_parser.add_argument("--clients", type=int, default=8)
+    run_parser.add_argument("--f", type=int, default=1)
+    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument("--warmup-ms", type=float, default=5.0)
+    run_parser.add_argument("--duration-ms", type=float, default=25.0)
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser("sweep", help="latency/throughput sweep")
+    sweep_parser.add_argument("protocol", choices=ALL_PROTOCOLS)
+    sweep_parser.add_argument("--clients", default="1,8,32,96")
+    sweep_parser.add_argument("--f", type=int, default=1)
+    sweep_parser.add_argument("--seed", type=int, default=1)
+    sweep_parser.add_argument("--warmup-ms", type=float, default=3.0)
+    sweep_parser.add_argument("--duration-ms", type=float, default=12.0)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    aom_parser = sub.add_parser("aom", help="aom switch micro-benchmark")
+    aom_parser.add_argument("--variant", choices=["hm", "pk"], default="hm")
+    aom_parser.add_argument("--group", type=int, default=4)
+    aom_parser.add_argument("--packets", type=int, default=5000)
+    aom_parser.set_defaults(func=_cmd_aom)
+
+    protocols_parser = sub.add_parser("protocols", help="list protocols")
+    protocols_parser.set_defaults(func=_cmd_protocols)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Authenticated Ordered Multicast (aom) — the paper's core primitive.
+
+aom gives receivers in a multicast group four guarantees on top of
+unreliable datagram delivery (§3.2): authentication, *transferable*
+authentication, a consistent delivery order, and drop detection.
+
+Components, mirroring Figure 1:
+
+- :mod:`repro.aom.messages` — the custom header carried after UDP, the
+  ordering certificates receivers hand to applications, and the signed
+  ``confirm`` messages of the Byzantine-network mode;
+- :mod:`repro.aom.sequencer` — the sequencer switch: per-group sequence
+  counters plus one of the two authentication engines from
+  :mod:`repro.switchfab` (HMAC vectors or FPGA public-key signing);
+- :mod:`repro.aom.receiver` — libAOM's receiver half: verification,
+  in-order delivery, drop-notification generation, partial-vector
+  reassembly, hash-chain batch verification, confirm exchange;
+- :mod:`repro.aom.sender` — libAOM's sender half;
+- :mod:`repro.aom.config` — the configuration service: group membership,
+  key distribution, sequencer designation and failover (epoch bumps).
+"""
+
+from repro.aom.messages import (
+    AomConfig,
+    AomPacket,
+    Confirm,
+    DropNotification,
+    EpochConfig,
+    OrderingCertificate,
+    PkProof,
+)
+from repro.aom.sequencer import AomSequencer
+from repro.aom.receiver import AomReceiverLib
+from repro.aom.sender import AomSenderLib
+from repro.aom.config import AomConfigService
+
+__all__ = [
+    "AomConfig",
+    "AomConfigService",
+    "AomPacket",
+    "AomReceiverLib",
+    "AomSenderLib",
+    "AomSequencer",
+    "Confirm",
+    "DropNotification",
+    "EpochConfig",
+    "OrderingCertificate",
+    "PkProof",
+]

@@ -1,0 +1,213 @@
+"""aom wire formats and certificates.
+
+The custom header (§4.1) follows the UDP header and carries: group ID,
+sequence number, epoch number, the sender's payload digest, and the
+authenticator the switch fills in (an HMAC vector chunk for aom-hm, a
+hash-chain token with an optional signature for aom-pk).
+
+An :class:`OrderingCertificate` is what the receiver library delivers to
+the application: the message plus everything another receiver would need
+to independently verify its authenticity and position — the transferable
+authentication property NeoBFT's gap and view-change protocols rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional, Tuple
+
+from repro.crypto.backend import Signature
+from repro.crypto.digests import digest_concat, digest_int
+from repro.crypto.hmacvec import HmacVector
+from repro.switchfab.fpga import ChainedToken
+from repro.switchfab.hmac_pipeline import PartialVector
+
+
+class AuthVariant(str, Enum):
+    """Which authentication engine a group's sequencer runs."""
+
+    HMAC = "hm"
+    PUBKEY = "pk"
+
+
+class NetworkFaultModel(str, Enum):
+    """§3.1's dual fault model for the network infrastructure."""
+
+    CRASH = "crash"  # hybrid model: trust the network not to equivocate
+    BYZANTINE = "byzantine"  # tolerate equivocating sequencers via confirms
+
+
+@dataclass(frozen=True)
+class AomConfig:
+    """Static configuration of one aom group."""
+
+    group_id: int
+    variant: AuthVariant = AuthVariant.HMAC
+    network_fault_model: NetworkFaultModel = NetworkFaultModel.CRASH
+    confirm_fault_bound: int = 1  # f for the 2f+1 confirm quorum (BN mode)
+
+
+@dataclass
+class AomPacket:
+    """One datagram as multicast by the sequencer switch to one receiver."""
+
+    group_id: int
+    epoch: int
+    sequence: int
+    digest: bytes  # sender-computed payload digest
+    payload: Any  # opaque application message
+    sender: int  # original sender's host address
+    auth: Any  # PartialVector (hm) or ChainedToken (pk)
+
+    def header_digest(self) -> bytes:
+        """D_i: the per-packet content digest the pk hash chain links.
+
+        Covers epoch, sequence, payload digest, and (for pk tokens) the
+        previous packet's digest, so a signature over D_i transitively
+        authenticates the entire unsigned run before it.
+        """
+        prev = self.auth.prev_digest if isinstance(self.auth, ChainedToken) else b""
+        return digest_concat(
+            digest_int(self.group_id),
+            digest_int(self.epoch),
+            digest_int(self.sequence),
+            self.digest,
+            prev,
+        )
+
+    def auth_input(self) -> bytes:
+        """The bytes the switch authenticates: digest || sequence (§4.1)."""
+        return self.digest + digest_int(self.sequence) + digest_int(self.epoch)
+
+
+@dataclass(frozen=True)
+class Confirm:
+    """BN-mode receiver confirmation: <confirm, s, h> authenticated."""
+
+    group_id: int
+    epoch: int
+    sequence: int
+    digest: bytes
+    replica: int
+    auth: Any  # HmacVector over pairwise keys, or Signature
+
+    def signed_body(self) -> bytes:
+        """Canonical bytes the authenticator covers."""
+        return digest_concat(
+            b"confirm",
+            digest_int(self.group_id),
+            digest_int(self.epoch),
+            digest_int(self.sequence),
+            self.digest,
+            digest_int(self.replica),
+        )
+
+
+@dataclass(frozen=True)
+class ChainLink:
+    """One intermediate packet's header fields inside a :class:`PkProof`."""
+
+    sequence: int
+    payload_digest: bytes
+    prev_digest: bytes
+
+
+@dataclass
+class PkProof:
+    """Transferable proof for a pk-authenticated packet.
+
+    ``links`` describe packets with sequence numbers strictly greater than
+    the certified packet, up to and including the signed packet whose
+    ``signature`` covers the chain head. An empty ``links`` tuple means
+    the certified packet itself was signed.
+    """
+
+    signature: Signature
+    links: Tuple[ChainLink, ...] = ()
+
+    def wire_size(self) -> int:
+        return self.signature.wire_size() + sum(8 + 64 for _ in self.links)
+
+
+@dataclass
+class OrderingCertificate:
+    """What aom delivers: a message plus its verifiable ordering evidence."""
+
+    group_id: int
+    epoch: int
+    sequence: int
+    digest: bytes
+    payload: Any
+    sender: int
+    variant: AuthVariant
+    hm_vector: Optional[HmacVector] = None
+    pk_prev_digest: bytes = b""
+    pk_proof: Optional[PkProof] = None
+    confirms: Tuple[Confirm, ...] = ()
+
+    def auth_input(self) -> bytes:
+        """Same input the switch authenticated for this sequence number."""
+        return self.digest + digest_int(self.sequence) + digest_int(self.epoch)
+
+    def header_digest(self) -> bytes:
+        """D_i of the certified packet (recomputed from certificate fields)."""
+        prev = self.pk_prev_digest if self.variant == AuthVariant.PUBKEY else b""
+        return digest_concat(
+            digest_int(self.group_id),
+            digest_int(self.epoch),
+            digest_int(self.sequence),
+            self.digest,
+            prev,
+        )
+
+    def wire_size(self) -> int:
+        size = 8 * 4 + len(self.digest) + 64  # header fields + payload est.
+        if self.hm_vector is not None:
+            size += self.hm_vector.wire_size()
+        if self.pk_proof is not None:
+            size += self.pk_proof.wire_size()
+        size += sum(48 for _ in self.confirms)
+        return size
+
+
+@dataclass(frozen=True)
+class DropNotification:
+    """Delivered in place of a message the network dropped (§3.2)."""
+
+    group_id: int
+    epoch: int
+    sequence: int
+
+
+@dataclass(frozen=True)
+class EpochConfig:
+    """Configuration-service announcement installing a sequencer epoch."""
+
+    group_id: int
+    epoch: int
+    sequencer_identity: int  # crypto identity of the (new) switch
+    variant: AuthVariant
+    receiver_ids: Tuple[int, ...]
+    hmac_key: bytes = b""  # this receiver's key with the switch (hm only)
+    tag_scheme: str = "fast"  # which tag function the switch computes
+
+
+@dataclass(frozen=True)
+class FailoverRequest:
+    """Receiver -> configuration service: the sequencer looks faulty."""
+
+    group_id: int
+    epoch: int
+    replica: int
+
+
+# Messages the receiver library exchanges on its own behalf.
+@dataclass(frozen=True)
+class ConfirmBatch:
+    """BN mode: confirms are batched to amortize per-message overhead."""
+
+    confirms: Tuple[Confirm, ...]
+
+    def wire_size(self) -> int:
+        return 4 + 56 * len(self.confirms)

@@ -1,0 +1,182 @@
+"""The aom sequencer switch (§4.2): sequencing + authentication + multicast.
+
+A :class:`AomSequencer` is registered with the fabric as the group handler
+for one aom group address. Per packet it:
+
+1. increments the group's register counter and stamps epoch + sequence;
+2. runs the authentication engine — the folded HMAC pipeline or the FPGA
+   public-key coprocessor — which determines the completion time through
+   its queue model (and may tail-drop under overload);
+3. uses the replication engine to multicast the authenticated packet(s)
+   to every receiver, one egress leg each (legs drop independently, which
+   is exactly the failure NeoBFT's gap agreement exists for).
+
+Fault hooks used by :mod:`repro.faults`: the sequencer can be *failed*
+(silently drops everything — §6.4's failover experiment) or given an
+*equivocation behaviour* (assigns conflicting payloads per receiver —
+only tolerable in the Byzantine-network fault model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Callable, List, Optional, Sequence
+
+from repro.aom.messages import AomPacket, AuthVariant
+from repro.net.fabric import Fabric, GroupHandler
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.switchfab.fpga import ChainedToken, FpgaCoprocessor
+from repro.switchfab.hmac_pipeline import FoldedHmacPipeline
+
+# An equivocation behaviour maps (receiver, packet) -> packet to actually
+# send (or None to suppress that leg).
+EquivocationBehavior = Callable[[int, AomPacket], Optional[AomPacket]]
+
+
+class AomSequencer(GroupHandler):
+    """One group's sequencer switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        group_id: int,
+        epoch: int,
+        variant: AuthVariant,
+        receivers: Sequence[int],
+        switch_address: int,
+        hmac_pipeline: Optional[FoldedHmacPipeline] = None,
+        fpga: Optional[FpgaCoprocessor] = None,
+    ):
+        if variant == AuthVariant.HMAC and hmac_pipeline is None:
+            raise ValueError("HMAC variant needs a FoldedHmacPipeline")
+        if variant == AuthVariant.PUBKEY and fpga is None:
+            raise ValueError("public-key variant needs an FpgaCoprocessor")
+        self.sim = sim
+        self.fabric = fabric
+        self.group_id = group_id
+        self.epoch = epoch
+        self.variant = variant
+        self.receivers = list(receivers)
+        self.switch_address = switch_address
+        self.hmac_pipeline = hmac_pipeline
+        self.fpga = fpga
+        self.sequence = 0  # the per-group register counter
+        self._last_header_digest = b"\x00" * 32  # pk hash-chain register
+        self.failed = False
+        self.equivocation: Optional[EquivocationBehavior] = None
+        self.packets_sequenced = 0
+        self.packets_dropped_in_switch = 0
+
+    # ------------------------------------------------------------ fault API
+
+    def fail(self) -> None:
+        """Simulate a failed/partitioned sequencer: drop everything."""
+        self.failed = True
+
+    def recover(self) -> None:
+        """Clear the failure (transient fault recovery)."""
+        self.failed = False
+
+    # ------------------------------------------------------------- ingress
+
+    def on_packet(self, packet: Packet, arrival: int) -> None:
+        """Fabric callback at switch ingress for group-addressed traffic."""
+        if self.failed:
+            self.packets_dropped_in_switch += 1
+            return
+        message = packet.message
+        digest = getattr(message, "digest", None)
+        payload = getattr(message, "payload", message)
+        if digest is None:
+            # Sender bypassed libAOM; a real switch would still sequence
+            # the raw bytes. Use a zero digest; receivers will reject.
+            digest = b"\x00" * 32
+        self.sequence += 1
+        self.packets_sequenced += 1
+        sequence = self.sequence
+        if self.variant == AuthVariant.HMAC:
+            self._authenticate_hm(arrival, sequence, digest, payload, packet.src)
+        else:
+            self._authenticate_pk(arrival, sequence, digest, payload, packet.src)
+
+    # ---------------------------------------------------------------- aom-hm
+
+    def _authenticate_hm(
+        self, arrival: int, sequence: int, digest: bytes, payload, sender: int
+    ) -> None:
+        base = AomPacket(
+            group_id=self.group_id,
+            epoch=self.epoch,
+            sequence=sequence,
+            digest=digest,
+            payload=payload,
+            sender=sender,
+            auth=None,
+        )
+        result = self.hmac_pipeline.authenticate(arrival, base.auth_input())
+        if result is None:
+            self.packets_dropped_in_switch += 1
+            return
+        done, partials = result
+        copies = [dc_replace_packet(base, auth=partial) for partial in partials]
+        self.sim.schedule_at(done, self._multicast_many, copies)
+
+    # ---------------------------------------------------------------- aom-pk
+
+    def _authenticate_pk(
+        self, arrival: int, sequence: int, digest: bytes, payload, sender: int
+    ) -> None:
+        prev = self._last_header_digest
+        provisional = AomPacket(
+            group_id=self.group_id,
+            epoch=self.epoch,
+            sequence=sequence,
+            digest=digest,
+            payload=payload,
+            sender=sender,
+            auth=ChainedToken(prev_digest=prev, signature=None),
+        )
+        header_digest = provisional.header_digest()
+        result = self.fpga.process(arrival, header_digest, prev)
+        # The packet updater stamps the chain before the tail-drop point,
+        # so the chain register advances even for dropped packets; the
+        # resulting sequence gap is what receivers' drop detection keys on.
+        self._last_header_digest = header_digest
+        if result is None:
+            self.packets_dropped_in_switch += 1
+            return
+        done, token = result
+        packet = dc_replace_packet(provisional, auth=token)
+        self.sim.schedule_at(done, self._multicast_many, [packet])
+
+    # ------------------------------------------------------------ multicast
+
+    def _multicast_many(self, packets: List[AomPacket]) -> None:
+        for aom_packet in packets:
+            self._multicast(aom_packet)
+
+    def _multicast(self, aom_packet: AomPacket) -> None:
+        from repro.net.packet import wire_size_of
+
+        for receiver in self.receivers:
+            outgoing = aom_packet
+            if self.equivocation is not None:
+                maybe = self.equivocation(receiver, aom_packet)
+                if maybe is None:
+                    continue
+                outgoing = maybe
+            egress = Packet(
+                src=self.switch_address,
+                dst=receiver,
+                message=outgoing,
+                size=wire_size_of(outgoing),
+                sent_at=self.sim.now,
+            )
+            self.fabric.deliver_from_switch(receiver, egress)
+
+
+def dc_replace_packet(base: AomPacket, **changes) -> AomPacket:
+    """Copy an AomPacket with field changes (dataclasses.replace wrapper)."""
+    return dc_replace(base, **changes)

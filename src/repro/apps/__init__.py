@@ -1,0 +1,26 @@
+"""Replicated applications.
+
+State machines the protocols replicate, all supporting *speculative*
+execution with rollback (NeoBFT and Zyzzyva execute before commitment and
+may need to undo):
+
+- :class:`~repro.apps.statemachine.EchoApp` — the echo-RPC service used by
+  the latency/throughput experiments (§6.2);
+- :class:`~repro.apps.kvstore.store.KeyValueApp` — the in-memory
+  B-tree-backed key-value store used by the YCSB evaluation (§6.5);
+- :mod:`repro.apps.ycsb` — the YCSB workload generator (zipfian key
+  choice, workload A/B/C mixes, 100K x 128 B records for the paper's
+  configuration).
+"""
+
+from repro.apps.statemachine import EchoApp, StateMachine
+from repro.apps.kvstore.store import KeyValueApp
+from repro.apps.ycsb import YcsbWorkload, zipfian_sampler
+
+__all__ = [
+    "EchoApp",
+    "KeyValueApp",
+    "StateMachine",
+    "YcsbWorkload",
+    "zipfian_sampler",
+]

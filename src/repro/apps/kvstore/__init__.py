@@ -1,0 +1,6 @@
+"""B-tree-backed key-value store (the §6.5 application)."""
+
+from repro.apps.kvstore.btree import BTree
+from repro.apps.kvstore.store import KeyValueApp
+
+__all__ = ["BTree", "KeyValueApp"]

@@ -1,0 +1,281 @@
+"""An in-memory B-tree, from scratch.
+
+The paper's storage experiment (§6.5) replicates "an in-memory,
+B-Tree-based key-value store"; this is that substrate. Standard
+Cormen-style B-tree of minimum degree ``t``: every node except the root
+holds between t-1 and 2t-1 keys; all leaves sit at the same depth.
+
+Supports insert (upsert), point lookup, deletion with rebalancing
+(borrow/merge), ordered iteration, and range scans. The property-based
+test suite drives it against a dict model under random operation streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+
+class BTreeNode:
+    """One B-tree node; ``children`` empty means leaf."""
+
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self, leaf: bool):
+        self.keys: List[bytes] = []
+        self.values: List[bytes] = []
+        self.children: List["BTreeNode"] = []
+        if leaf:
+            # Leaves simply keep children empty.
+            pass
+
+    @property
+    def leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """B-tree of minimum degree ``t`` mapping bytes keys to bytes values."""
+
+    def __init__(self, min_degree: int = 16):
+        if min_degree < 2:
+            raise ValueError("B-tree minimum degree must be >= 2")
+        self.t = min_degree
+        self.root = BTreeNode(leaf=True)
+        self.size = 0
+
+    # -------------------------------------------------------------- lookup
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Point lookup; None when absent."""
+        node = self.root
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return node.values[index]
+            if node.leaf:
+                return None
+            node = node.children[index]
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return self.size
+
+    # -------------------------------------------------------------- insert
+
+    def put(self, key: bytes, value: bytes) -> Optional[bytes]:
+        """Upsert; returns the previous value (None if fresh insert)."""
+        root = self.root
+        if len(root.keys) == 2 * self.t - 1:
+            new_root = BTreeNode(leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self.root = new_root
+        return self._insert_nonfull(self.root, key, value)
+
+    def _split_child(self, parent: BTreeNode, index: int) -> None:
+        t = self.t
+        child = parent.children[index]
+        sibling = BTreeNode(leaf=child.leaf)
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.children.insert(index + 1, sibling)
+
+    def _insert_nonfull(self, node: BTreeNode, key: bytes, value: bytes) -> Optional[bytes]:
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                previous = node.values[index]
+                node.values[index] = value
+                return previous
+            if node.leaf:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+                self.size += 1
+                return None
+            child = node.children[index]
+            if len(child.keys) == 2 * self.t - 1:
+                self._split_child(node, index)
+                if key == node.keys[index]:
+                    previous = node.values[index]
+                    node.values[index] = value
+                    return previous
+                if key > node.keys[index]:
+                    child = node.children[index + 1]
+                else:
+                    child = node.children[index]
+            node = child
+
+    # -------------------------------------------------------------- delete
+
+    def delete(self, key: bytes) -> Optional[bytes]:
+        """Remove ``key``; returns its value, or None when absent."""
+        removed = self._delete(self.root, key)
+        if not self.root.keys and not self.root.leaf:
+            self.root = self.root.children[0]
+        if removed is not None:
+            self.size -= 1
+        return removed
+
+    def _delete(self, node: BTreeNode, key: bytes) -> Optional[bytes]:
+        t = self.t
+        index = _lower_bound(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.leaf:
+                node.keys.pop(index)
+                return node.values.pop(index)
+            return self._delete_internal(node, index)
+        if node.leaf:
+            return None
+        # Ensure the child we descend into has at least t keys.
+        child_index = index
+        child = node.children[child_index]
+        if len(child.keys) == t - 1:
+            child_index = self._fill_child(node, child_index)
+            child = node.children[child_index]
+        return self._delete(child, key)
+
+    def _delete_internal(self, node: BTreeNode, index: int) -> bytes:
+        t = self.t
+        removed_value = node.values[index]
+        left, right = node.children[index], node.children[index + 1]
+        if len(left.keys) >= t:
+            pred_key, pred_value = self._max_entry(left)
+            node.keys[index] = pred_key
+            node.values[index] = pred_value
+            self._delete(left, pred_key)
+        elif len(right.keys) >= t:
+            succ_key, succ_value = self._min_entry(right)
+            node.keys[index] = succ_key
+            node.values[index] = succ_value
+            self._delete(right, succ_key)
+        else:
+            key = node.keys[index]
+            self._merge_children(node, index)
+            self._delete(node.children[index], key)
+        return removed_value
+
+    def _fill_child(self, node: BTreeNode, index: int) -> int:
+        """Give child ``index`` an extra key; returns its (maybe new) index."""
+        t = self.t
+        if index > 0 and len(node.children[index - 1].keys) >= t:
+            self._borrow_from_left(node, index)
+            return index
+        if index < len(node.children) - 1 and len(node.children[index + 1].keys) >= t:
+            self._borrow_from_right(node, index)
+            return index
+        if index > 0:
+            self._merge_children(node, index - 1)
+            return index - 1
+        self._merge_children(node, index)
+        return index
+
+    def _borrow_from_left(self, node: BTreeNode, index: int) -> None:
+        child = node.children[index]
+        left = node.children[index - 1]
+        child.keys.insert(0, node.keys[index - 1])
+        child.values.insert(0, node.values[index - 1])
+        node.keys[index - 1] = left.keys.pop()
+        node.values[index - 1] = left.values.pop()
+        if not left.leaf:
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(self, node: BTreeNode, index: int) -> None:
+        child = node.children[index]
+        right = node.children[index + 1]
+        child.keys.append(node.keys[index])
+        child.values.append(node.values[index])
+        node.keys[index] = right.keys.pop(0)
+        node.values[index] = right.values.pop(0)
+        if not right.leaf:
+            child.children.append(right.children.pop(0))
+
+    def _merge_children(self, node: BTreeNode, index: int) -> None:
+        """Merge child ``index``, separator, and child ``index+1``."""
+        child = node.children[index]
+        right = node.children.pop(index + 1)
+        child.keys.append(node.keys.pop(index))
+        child.values.append(node.values.pop(index))
+        child.keys.extend(right.keys)
+        child.values.extend(right.values)
+        child.children.extend(right.children)
+
+    def _max_entry(self, node: BTreeNode) -> Tuple[bytes, bytes]:
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    def _min_entry(self, node: BTreeNode) -> Tuple[bytes, bytes]:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    # ----------------------------------------------------------- iteration
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All (key, value) pairs in key order."""
+        yield from self._iterate(self.root)
+
+    def _iterate(self, node: BTreeNode) -> Iterator[Tuple[bytes, bytes]]:
+        if node.leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._iterate(node.children[i])
+            yield (key, node.values[i])
+        yield from self._iterate(node.children[-1])
+
+    def range(self, start: bytes, end: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Pairs with start <= key < end, in key order."""
+        for key, value in self.items():
+            if key >= end:
+                return
+            if key >= start:
+                yield (key, value)
+
+    # ---------------------------------------------------------- invariants
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if B-tree structural invariants are broken."""
+        depth = self._check_node(self.root, is_root=True)
+        assert depth >= 0
+
+    def _check_node(self, node: BTreeNode, is_root: bool = False) -> int:
+        t = self.t
+        assert len(node.keys) == len(node.values)
+        if not is_root:
+            assert len(node.keys) >= t - 1, "underfull node"
+        assert len(node.keys) <= 2 * t - 1, "overfull node"
+        assert node.keys == sorted(node.keys), "unsorted keys"
+        if node.leaf:
+            return 0
+        assert len(node.children) == len(node.keys) + 1
+        depths = set()
+        for i, child in enumerate(node.children):
+            depths.add(self._check_node(child))
+            if i < len(node.keys):
+                assert all(k < node.keys[i] for k in child.keys)
+            if i > 0:
+                assert all(k > node.keys[i - 1] for k in child.keys)
+        assert len(depths) == 1, "leaves at unequal depth"
+        return depths.pop() + 1
+
+
+def _lower_bound(keys: List[bytes], key: bytes) -> int:
+    """First index whose key is >= ``key`` (binary search)."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,303 @@
+"""secp256k1 ECDSA, from scratch.
+
+The aom-pk design signs with the secp256k1 curve on an FPGA coprocessor
+(§4.4). This module implements the same mathematics in pure Python:
+
+- field and group arithmetic in Jacobian coordinates (no per-addition
+  inversions);
+- a windowed precompute table of generator multiples — deliberately the
+  same structure as the FPGA's "pre-computer" module, so the signing-ratio
+  controller in :mod:`repro.switchfab.fpga` models a real mechanism;
+- deterministic per-message nonces derived by keyed hashing (RFC-6979
+  style: no RNG dependence, identical signatures across runs).
+
+It is slow — which is exactly why the simulation also ships a fast backend
+with the same interface — but it is *correct*, and the test suite exercises
+sign/verify, malleability normalization, and forgery rejection against it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+from typing import Optional, Tuple
+
+# secp256k1 domain parameters.
+P = 2**256 - 2**32 - 977
+A = 0
+B = 7
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+
+# Affine points are (x, y) tuples; None is the point at infinity.
+AffinePoint = Optional[Tuple[int, int]]
+# Jacobian points are (X, Y, Z) with x = X/Z^2, y = Y/Z^3.
+JacobianPoint = Tuple[int, int, int]
+
+_JAC_INFINITY: JacobianPoint = (0, 1, 0)
+
+
+def _inv_mod(value: int, modulus: int) -> int:
+    return pow(value, -1, modulus)
+
+
+def is_on_curve(point: AffinePoint) -> bool:
+    """True if ``point`` satisfies y^2 = x^3 + 7 (mod p) or is infinity."""
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - x * x * x - B) % P == 0
+
+
+def _to_jacobian(point: AffinePoint) -> JacobianPoint:
+    if point is None:
+        return _JAC_INFINITY
+    return (point[0], point[1], 1)
+
+
+def _from_jacobian(point: JacobianPoint) -> AffinePoint:
+    X, Y, Z = point
+    if Z == 0:
+        return None
+    z_inv = _inv_mod(Z, P)
+    z2 = z_inv * z_inv % P
+    return (X * z2 % P, Y * z2 % P * z_inv % P)
+
+
+def _jac_double(point: JacobianPoint) -> JacobianPoint:
+    X, Y, Z = point
+    if Z == 0 or Y == 0:
+        return _JAC_INFINITY
+    ysq = Y * Y % P
+    s = 4 * X * ysq % P
+    m = 3 * X * X % P  # a = 0 for secp256k1
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % P
+    nz = 2 * Y * Z % P
+    return (nx, ny, nz)
+
+
+def _jac_add(p1: JacobianPoint, p2: JacobianPoint) -> JacobianPoint:
+    if p1[2] == 0:
+        return p2
+    if p2[2] == 0:
+        return p1
+    X1, Y1, Z1 = p1
+    X2, Y2, Z2 = p2
+    z1z1 = Z1 * Z1 % P
+    z2z2 = Z2 * Z2 % P
+    u1 = X1 * z2z2 % P
+    u2 = X2 * z1z1 % P
+    s1 = Y1 * z2z2 % P * Z2 % P
+    s2 = Y2 * z1z1 % P * Z1 % P
+    if u1 == u2:
+        if s1 != s2:
+            return _JAC_INFINITY
+        return _jac_double(p1)
+    h = (u2 - u1) % P
+    i = 4 * h * h % P
+    j = h * i % P
+    r = 2 * (s2 - s1) % P
+    v = u1 * i % P
+    nx = (r * r - j - 2 * v) % P
+    ny = (r * (v - nx) - 2 * s1 * j) % P
+    nz = ((Z1 + Z2) * (Z1 + Z2) - z1z1 - z2z2) % P * h % P
+    return (nx, ny, nz)
+
+
+def point_add(p1: AffinePoint, p2: AffinePoint) -> AffinePoint:
+    """Affine group addition (wrapper over Jacobian arithmetic)."""
+    return _from_jacobian(_jac_add(_to_jacobian(p1), _to_jacobian(p2)))
+
+
+def point_neg(point: AffinePoint) -> AffinePoint:
+    """Additive inverse of an affine point."""
+    if point is None:
+        return None
+    return (point[0], (-point[1]) % P)
+
+
+def scalar_mult(scalar: int, point: AffinePoint) -> AffinePoint:
+    """Double-and-add scalar multiplication of an arbitrary point."""
+    scalar %= N
+    if scalar == 0 or point is None:
+        return None
+    result = _JAC_INFINITY
+    addend = _to_jacobian(point)
+    while scalar:
+        if scalar & 1:
+            result = _jac_add(result, addend)
+        addend = _jac_double(addend)
+        scalar >>= 1
+    return _from_jacobian(result)
+
+
+class GeneratorTable:
+    """Windowed precompute table of generator multiples.
+
+    This is the software twin of the FPGA "secp256k1 pre-computer": it
+    stores ``d * 2^(w*i) * G`` for every window position ``i`` and window
+    digit ``d``, turning ``k*G`` into ~(256/w) table lookups plus
+    additions. The table is built once per process and shared.
+    """
+
+    def __init__(self, window_bits: int = 4):
+        if not 1 <= window_bits <= 8:
+            raise ValueError("window size must be 1..8 bits")
+        self.window_bits = window_bits
+        self.windows = (256 + window_bits - 1) // window_bits
+        self._table = []
+        base: JacobianPoint = _to_jacobian((GX, GY))
+        for _ in range(self.windows):
+            row = [_JAC_INFINITY]
+            current = base
+            for _ in range(1, 1 << window_bits):
+                row.append(current)
+                current = _jac_add(current, base)
+            self._table.append(row)
+            base = current  # base * 2^window_bits
+
+    @property
+    def entries(self) -> int:
+        """Number of stored points (the FPGA's BRAM stock size analogue)."""
+        return self.windows * ((1 << self.window_bits) - 1)
+
+    def mult(self, scalar: int) -> AffinePoint:
+        """Compute ``scalar * G`` using only table lookups and additions."""
+        scalar %= N
+        if scalar == 0:
+            return None
+        acc = _JAC_INFINITY
+        mask = (1 << self.window_bits) - 1
+        for i in range(self.windows):
+            digit = (scalar >> (i * self.window_bits)) & mask
+            if digit:
+                acc = _jac_add(acc, self._table[i][digit])
+        return _from_jacobian(acc)
+
+
+_shared_table: Optional[GeneratorTable] = None
+
+
+def generator_table() -> GeneratorTable:
+    """Process-wide shared precompute table (built lazily)."""
+    global _shared_table
+    if _shared_table is None:
+        _shared_table = GeneratorTable()
+    return _shared_table
+
+
+class PrivateKey:
+    """A secp256k1 private scalar with deterministic ECDSA signing."""
+
+    def __init__(self, secret: int):
+        if not 1 <= secret < N:
+            raise ValueError("private key out of range")
+        self.secret = secret
+        self._public: Optional["PublicKey"] = None
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "PrivateKey":
+        """Derive a valid key deterministically from arbitrary seed bytes."""
+        counter = 0
+        while True:
+            candidate = int.from_bytes(
+                hashlib.sha256(seed + counter.to_bytes(4, "big")).digest(), "big"
+            )
+            if 1 <= candidate < N:
+                return cls(candidate)
+            counter += 1
+
+    def public_key(self) -> "PublicKey":
+        """The corresponding public point (cached)."""
+        if self._public is None:
+            point = generator_table().mult(self.secret)
+            assert point is not None
+            self._public = PublicKey(point)
+        return self._public
+
+    def _nonce(self, digest: bytes) -> int:
+        """Deterministic nonce: HMAC-SHA256(secret, digest), retried.
+
+        RFC-6979 in spirit — the nonce depends only on (key, message), so
+        signing is reproducible and never reuses a nonce across messages.
+        """
+        key_bytes = self.secret.to_bytes(32, "big")
+        counter = 0
+        while True:
+            mac = _hmac.new(key_bytes, digest + counter.to_bytes(4, "big"), hashlib.sha256)
+            k = int.from_bytes(mac.digest(), "big") % N
+            if k != 0:
+                return k
+            counter += 1
+
+    def sign(self, digest: bytes) -> Tuple[int, int]:
+        """ECDSA-sign a 32-byte message digest; returns (r, s), low-s form."""
+        if len(digest) != 32:
+            raise ValueError("ECDSA signs a 32-byte digest")
+        z = int.from_bytes(digest, "big") % N
+        while True:
+            k = self._nonce(digest)
+            point = generator_table().mult(k)
+            assert point is not None
+            r = point[0] % N
+            if r == 0:
+                digest = hashlib.sha256(digest).digest()
+                continue
+            s = _inv_mod(k, N) * (z + r * self.secret) % N
+            if s == 0:
+                digest = hashlib.sha256(digest).digest()
+                continue
+            if s > N // 2:  # enforce low-s to rule out malleability
+                s = N - s
+            return (r, s)
+
+
+class PublicKey:
+    """A secp256k1 public point with ECDSA verification."""
+
+    def __init__(self, point: Tuple[int, int]):
+        if not is_on_curve(point):
+            raise ValueError("public key is not on secp256k1")
+        self.point = point
+
+    def verify(self, digest: bytes, signature: Tuple[int, int]) -> bool:
+        """Check an (r, s) signature over a 32-byte digest."""
+        if len(digest) != 32:
+            return False
+        r, s = signature
+        if not (1 <= r < N and 1 <= s < N):
+            return False
+        z = int.from_bytes(digest, "big") % N
+        w = _inv_mod(s, N)
+        u1 = z * w % N
+        u2 = r * w % N
+        point = _from_jacobian(
+            _jac_add(
+                _to_jacobian(generator_table().mult(u1)),
+                _to_jacobian(scalar_mult(u2, self.point)),
+            )
+        )
+        if point is None:
+            return False
+        return point[0] % N == r
+
+    def encode(self) -> bytes:
+        """Compressed SEC1 encoding (33 bytes)."""
+        x, y = self.point
+        prefix = b"\x03" if y & 1 else b"\x02"
+        return prefix + x.to_bytes(32, "big")
+
+
+def ecdh_shared_secret(private: PrivateKey, peer: PublicKey) -> bytes:
+    """ECDH key agreement: SHA-256 of the shared point's x-coordinate.
+
+    Used by the aom configuration service to establish per-receiver HMAC
+    keys with the sequencer switch (§4.3's key exchange, Merkle-style in
+    the paper; ECDH here since the curve is already on hand).
+    """
+    point = scalar_mult(private.secret, peer.point)
+    if point is None:
+        raise ValueError("degenerate ECDH result")
+    return hashlib.sha256(point[0].to_bytes(32, "big")).digest()

@@ -1,0 +1,23 @@
+"""Fault injection.
+
+Byzantine end-host behaviours, network loss/partition helpers, and
+sequencer faults (crash, equivocation) — the knobs behind §6.2's faulty
+replica runs, §6.4's drop-rate sweep and failover experiment, and the
+safety test suite's adversarial schedules.
+"""
+
+from repro.faults.behaviors import (
+    corrupt_replies,
+    make_silent,
+)
+from repro.faults.network import drop_fraction_for, isolate_host
+from repro.faults.sequencer import equivocate_sequencer, fail_sequencer
+
+__all__ = [
+    "corrupt_replies",
+    "drop_fraction_for",
+    "equivocate_sequencer",
+    "fail_sequencer",
+    "isolate_host",
+    "make_silent",
+]

@@ -1,0 +1,78 @@
+"""Byzantine replica behaviours.
+
+These wrap a live replica object. They never touch key material — a
+Byzantine node can lie, stay silent, or garble its own traffic, but it
+cannot forge other nodes' authenticators (that is the crypto boundary the
+backends enforce).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.protocols.messages import ClientReply
+
+
+def make_silent(replica) -> Callable[[], None]:
+    """Crash-style Byzantine behaviour: drop all inbound messages.
+
+    Returns an undo function (the replica "recovers" when called).
+    """
+    original = replica.on_message
+
+    def muted(src: int, message: object) -> None:
+        replica.metrics.add("byzantine_dropped")
+
+    replica.on_message = muted
+
+    def restore() -> None:
+        replica.on_message = original
+
+    return restore
+
+
+def corrupt_replies(replica) -> Callable[[], None]:
+    """Reply-corruption behaviour: flip result bytes in client replies.
+
+    Clients must reject the corrupted reply (bad MAC match against the
+    quorum) — the safety tests assert corrupted results never win.
+    """
+    original_send = replica.send
+
+    def tampering_send(dst, message):
+        if isinstance(message, ClientReply):
+            message = ClientReply(
+                view=message.view,
+                replica=message.replica,
+                request_id=message.request_id,
+                result=b"\xff" + message.result,
+                slot=message.slot,
+                log_hash=message.log_hash,
+                tag=message.tag,  # stale tag: fails verification
+                extra=message.extra,
+            )
+            replica.metrics.add("byzantine_corrupted")
+        original_send(dst, message)
+
+    replica.send = tampering_send
+
+    def restore() -> None:
+        replica.send = original_send
+
+    return restore
+
+
+def delay_everything(replica, delay_ns: int) -> Callable[[], None]:
+    """Slow-replica behaviour: add fixed processing delay to every message."""
+    original = replica.on_message
+
+    def slow(src: int, message: object) -> None:
+        replica.charge(delay_ns)
+        original(src, message)
+
+    replica.on_message = slow
+
+    def restore() -> None:
+        replica.on_message = original
+
+    return restore

@@ -1,0 +1,31 @@
+"""Network fault helpers over the fabric's drop-filter hooks."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.fabric import Fabric
+from repro.net.packet import Packet
+
+
+def drop_fraction_for(fabric: Fabric, dst: int, fraction: float, rng) -> Callable[[], None]:
+    """Drop a fraction of packets destined for one host; returns remover."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction out of range")
+
+    def predicate(packet: Packet) -> bool:
+        return packet.dst == dst and rng.random() < fraction
+
+    return fabric.add_drop_filter(predicate)
+
+
+def isolate_host(fabric: Fabric, host: int, peers) -> Callable[[], None]:
+    """Partition a host from a set of peers; returns a healer."""
+    for peer in peers:
+        fabric.partition(host, peer)
+
+    def heal() -> None:
+        for peer in peers:
+            fabric.heal(host, peer)
+
+    return heal

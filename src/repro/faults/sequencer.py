@@ -1,0 +1,67 @@
+"""Sequencer (in-network) faults for the aom layer."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Optional
+
+from repro.aom.sequencer import AomSequencer
+from repro.aom.messages import AomPacket
+
+
+def fail_sequencer(sequencer: AomSequencer) -> Callable[[], None]:
+    """Crash the sequencer (drops everything); returns a recovery function.
+
+    This is the §6.4 failover experiment's fault: the paper simulated it
+    "by dropping aom packets on the switch".
+    """
+    sequencer.fail()
+    return sequencer.recover
+
+
+def equivocate_sequencer(
+    sequencer: AomSequencer, split: Dict[int, bytes], forge_auth: bool = True
+) -> Callable[[], None]:
+    """Byzantine sequencer: send conflicting payload digests per receiver.
+
+    ``split`` maps receiver address -> substitute digest for that
+    receiver's copy. Receivers outside the map get the original packet.
+
+    With ``forge_auth`` (the realistic Byzantine-switch model) the forged
+    copy carries *valid* HMAC tags — the switch holds every receiver's
+    key, so equivocation passes point-to-point authentication. This is
+    precisely the attack the hybrid fault model cannot tolerate and the
+    Byzantine-network mode's 2f+1 confirm quorum exists to stop.
+    """
+
+    def behaviour(receiver: int, packet: AomPacket) -> Optional[AomPacket]:
+        substitute = split.get(receiver)
+        if substitute is None:
+            return packet
+        forged = replace(packet, digest=substitute)
+        if forge_auth and sequencer.hmac_pipeline is not None:
+            partial = packet.auth
+            scheme = sequencer.hmac_pipeline.tag_scheme
+            subgroup = sequencer.hmac_pipeline.subgroups[partial.subgroup_index]
+            from repro.crypto.hmacvec import HmacVector
+            from repro.switchfab.hmac_pipeline import PartialVector
+
+            forged_vector = HmacVector(
+                tuple((rid, scheme.tag(key, forged.auth_input())) for rid, key in subgroup)
+            )
+            forged = replace(
+                forged,
+                auth=PartialVector(
+                    subgroup_index=partial.subgroup_index,
+                    total_subgroups=partial.total_subgroups,
+                    vector=forged_vector,
+                ),
+            )
+        return forged
+
+    sequencer.equivocation = behaviour
+
+    def restore() -> None:
+        sequencer.equivocation = None
+
+    return restore

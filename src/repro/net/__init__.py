@@ -1,0 +1,29 @@
+"""Data center network model.
+
+A single-rack star fabric (every host one hop from a ToR switch) with:
+
+- calibrated per-hop latency, per-link bandwidth (serialization delay),
+  optional jitter, and per-pair FIFO preservation;
+- probabilistic and targeted packet-loss injection plus partitions (the
+  fault hooks Figures 9 and the failover experiment drive);
+- multicast group addresses whose traffic is routed through an in-network
+  processing element (the aom sequencer switch model plugs in here);
+- endpoints: actors with a network attachment whose message receive path
+  charges simulated CPU time before the protocol handler runs.
+"""
+
+from repro.net.profiles import LinkProfile, NetworkProfile
+from repro.net.packet import GroupAddress, Packet, wire_size_of
+from repro.net.fabric import Fabric, GroupHandler
+from repro.net.endpoint import Endpoint
+
+__all__ = [
+    "Endpoint",
+    "Fabric",
+    "GroupAddress",
+    "GroupHandler",
+    "LinkProfile",
+    "NetworkProfile",
+    "Packet",
+    "wire_size_of",
+]

@@ -1,0 +1,189 @@
+"""The rack fabric: routing, delays, loss, partitions, multicast hand-off.
+
+The fabric is intentionally not an :class:`~repro.sim.actors.Actor`: a ToR
+switch forwards orders of magnitude more packets per second than any host
+can generate here, so ordinary unicast traffic sees only deterministic
+forwarding delay. In-network *processing* elements with real capacity
+limits (the aom sequencer pipeline, the FPGA coprocessor) model their own
+queues and are attached as :class:`GroupHandler` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.packet import Address, GroupAddress, Packet, wire_size_of
+from repro.net.profiles import NetworkProfile
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Counter
+
+DropFilter = Callable[[Packet], bool]
+
+
+class GroupHandler:
+    """Interface for in-network elements that own a multicast group."""
+
+    def on_packet(self, packet: Packet, arrival: int) -> None:
+        """Handle a packet addressed to the group; called at switch ingress."""
+        raise NotImplementedError
+
+
+class Fabric:
+    """A single-rack star network."""
+
+    def __init__(self, sim: Simulator, profile: Optional[NetworkProfile] = None):
+        self.sim = sim
+        self.profile = profile or NetworkProfile()
+        self.counters = Counter()
+        self._endpoints: Dict[int, "EndpointPort"] = {}
+        self._groups: Dict[GroupAddress, GroupHandler] = {}
+        self._next_address = 0
+        self._blocked: set = set()  # directed (src, dst) host pairs
+        self._drop_filters: List[DropFilter] = []
+        self._last_arrival: Dict[Tuple[int, int], int] = {}
+        self._rng = sim.streams.get("net.jitter")
+        self._loss_rng = sim.streams.get("net.loss")
+
+    # ----------------------------------------------------------- topology
+
+    def attach(self, port: "EndpointPort", address: Optional[int] = None) -> int:
+        """Connect an endpoint; returns its assigned host address."""
+        if address is None:
+            address = self._next_address
+        if address in self._endpoints:
+            raise ValueError(f"address {address} already attached")
+        self._next_address = max(self._next_address, address + 1)
+        self._endpoints[address] = port
+        return address
+
+    def register_group(self, group: GroupAddress, handler: GroupHandler) -> None:
+        """Route ``group``-addressed packets to an in-network handler."""
+        self._groups[group] = handler
+
+    def group_handler(self, group: GroupAddress) -> Optional[GroupHandler]:
+        """Current handler for a group (None if unregistered)."""
+        return self._groups.get(group)
+
+    def unregister_group(self, group: GroupAddress) -> None:
+        """Remove a group route (sequencer failover tears down the old one)."""
+        self._groups.pop(group, None)
+
+    # --------------------------------------------------------------- faults
+
+    def set_drop_rate(self, rate: float) -> None:
+        """Change the uniform loss probability mid-run."""
+        self.profile = self.profile.with_drop_rate(rate)
+
+    def add_drop_filter(self, predicate: DropFilter) -> Callable[[], None]:
+        """Install a targeted drop rule; returns a remover."""
+        self._drop_filters.append(predicate)
+
+        def remove() -> None:
+            if predicate in self._drop_filters:
+                self._drop_filters.remove(predicate)
+
+        return remove
+
+    def partition(self, src: int, dst: int, bidirectional: bool = True) -> None:
+        """Black-hole traffic between two hosts."""
+        self._blocked.add((src, dst))
+        if bidirectional:
+            self._blocked.add((dst, src))
+
+    def heal(self, src: int, dst: int, bidirectional: bool = True) -> None:
+        """Remove a partition."""
+        self._blocked.discard((src, dst))
+        if bidirectional:
+            self._blocked.discard((dst, src))
+
+    def _should_drop(self, packet: Packet) -> bool:
+        if isinstance(packet.dst, int) and (packet.src, packet.dst) in self._blocked:
+            self.counters.add("partitioned")
+            return True
+        for predicate in self._drop_filters:
+            if predicate(packet):
+                self.counters.add("filtered")
+                return True
+        rate = self.profile.drop_rate
+        if rate > 0.0 and self._loss_rng.random() < rate:
+            self.counters.add("lost")
+            return True
+        return False
+
+    # ------------------------------------------------------------ transmit
+
+    def transmit(self, src: int, dst: Address, message: object) -> None:
+        """Inject a packet at ``src``'s NIC at the current virtual time."""
+        size = wire_size_of(message)
+        packet = Packet(src=src, dst=dst, message=message, size=size, sent_at=self.sim.now)
+        self.counters.add("sent")
+        if self._should_drop(packet):
+            return
+        if isinstance(dst, GroupAddress):
+            handler = self._groups.get(dst)
+            if handler is None:
+                self.counters.add("unroutable")
+                return
+            ingress = (
+                self.profile.link.latency_ns
+                + self.profile.link.serialization_ns(size)
+                + self._jitter()
+            )
+            self.sim.schedule(ingress, handler.on_packet, packet, self.sim.now + ingress)
+            return
+        self._deliver_unicast(packet)
+
+    def _deliver_unicast(self, packet: Packet) -> None:
+        assert isinstance(packet.dst, int)
+        port = self._endpoints.get(packet.dst)
+        if port is None:
+            self.counters.add("unroutable")
+            return
+        delay = self.profile.one_way_ns(packet.size) + self._jitter()
+        self._schedule_delivery(port, packet, self.sim.now + delay)
+
+    def deliver_from_switch(self, dst: int, packet: Packet, extra_delay: int = 0) -> None:
+        """Egress leg from an in-network element to a host.
+
+        Used by group handlers after their own processing: one link of
+        latency plus serialization, then the host's receive path. Loss and
+        partitions still apply (the sequencer's multicast legs can drop
+        independently per receiver — that is what triggers NeoBFT's gap
+        agreement).
+        """
+        egress = Packet(packet.src, dst, packet.message, packet.size, packet.sent_at)
+        if self._should_drop(egress):
+            return
+        port = self._endpoints.get(dst)
+        if port is None:
+            self.counters.add("unroutable")
+            return
+        delay = (
+            extra_delay
+            + self.profile.link.latency_ns
+            + self.profile.link.serialization_ns(packet.size)
+            + self._jitter()
+        )
+        self._schedule_delivery(port, egress, self.sim.now + delay)
+
+    def _schedule_delivery(self, port: "EndpointPort", packet: Packet, arrival: int) -> None:
+        if self.profile.fifo_per_pair and isinstance(packet.dst, int):
+            key = (packet.src, packet.dst)
+            arrival = max(arrival, self._last_arrival.get(key, 0))
+            self._last_arrival[key] = arrival
+        self.counters.add("delivered")
+        self.sim.schedule_at(arrival, port.receive, packet, arrival)
+
+    def _jitter(self) -> int:
+        jitter = self.profile.link.jitter_ns
+        if jitter <= 0:
+            return 0
+        return self._rng.randrange(jitter)
+
+
+class EndpointPort:
+    """What the fabric needs from an attached endpoint."""
+
+    def receive(self, packet: Packet, arrival: int) -> None:
+        """Called by the fabric when a packet reaches this host's NIC."""
+        raise NotImplementedError

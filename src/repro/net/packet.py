@@ -1,0 +1,81 @@
+"""Packets, addresses, and wire-size estimation.
+
+Host addresses are plain ints (assigned by the fabric). Multicast group
+addresses are :class:`GroupAddress` values; the fabric routes them to the
+registered in-network handler (the aom sequencer) instead of a host.
+
+Wire sizes drive serialization delay and per-byte CPU charges. Protocol
+message classes may define ``wire_size()``; for everything else
+:func:`wire_size_of` estimates from the object's fields, so forgetting a
+method degrades the model gracefully instead of crashing a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Union
+
+UDP_HEADER_BYTES = 42  # Ethernet + IPv4 + UDP framing
+
+
+@dataclass(frozen=True)
+class GroupAddress:
+    """A multicast group identity (the aom group address of §3.2)."""
+
+    group_id: int
+
+    def __str__(self) -> str:
+        return f"group:{self.group_id}"
+
+
+Address = Union[int, GroupAddress]
+
+
+@dataclass
+class Packet:
+    """One network-layer datagram in flight."""
+
+    src: int
+    dst: Address
+    message: Any
+    size: int
+    sent_at: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet {self.src}->{self.dst} {type(self.message).__name__} "
+            f"{self.size}B @{self.sent_at}>"
+        )
+
+
+def wire_size_of(message: Any) -> int:
+    """Estimated serialized size of a protocol message, framing included."""
+    return UDP_HEADER_BYTES + _payload_size(message, depth=0)
+
+
+def _payload_size(value: Any, depth: int) -> int:
+    if depth > 6:  # deep nesting contributes little; cap recursion
+        return 8
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    if isinstance(value, (list, tuple, frozenset, set)):
+        return 2 + sum(_payload_size(item, depth + 1) for item in value)
+    if isinstance(value, dict):
+        return 2 + sum(
+            _payload_size(k, depth + 1) + _payload_size(v, depth + 1)
+            for k, v in value.items()
+        )
+    sizer = getattr(value, "wire_size", None)
+    if callable(sizer):
+        return sizer()
+    if is_dataclass(value):
+        return 2 + sum(
+            _payload_size(getattr(value, f.name), depth + 1) for f in fields(value)
+        )
+    return 16  # opaque object: charge a conservative constant

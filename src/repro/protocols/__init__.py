@@ -1,0 +1,30 @@
+"""BFT state machine replication protocols.
+
+The paper's contribution plus every baseline it evaluates against, all
+implemented on the same substrate for a fair comparison (as the paper did
+with its shared Rust framework):
+
+- :mod:`repro.protocols.neobft` — NeoBFT (§5): single-RTT speculative
+  commitment over aom, gap agreement, view changes with epoch
+  certificates, periodic state synchronization;
+- :mod:`repro.protocols.pbft` — PBFT with MAC authenticators, batching,
+  checkpoints, and view changes;
+- :mod:`repro.protocols.zyzzyva` — speculative BFT with the 3f+1 fast
+  path and the 2f+1 commit-certificate second phase;
+- :mod:`repro.protocols.hotstuff` — 3-phase leader-based HotStuff with
+  threshold-signature quorum certificates and pipelining;
+- :mod:`repro.protocols.minbft` — MinBFT on a USIG trusted counter
+  (2f+1 replicas);
+- :mod:`repro.protocols.unreplicated` — the unreplicated upper bound.
+"""
+
+from repro.protocols.base import BaseClient, BaseReplica, ReplicaGroup
+from repro.protocols.messages import ClientRequest, ClientReply
+
+__all__ = [
+    "BaseClient",
+    "BaseReplica",
+    "ClientReply",
+    "ClientRequest",
+    "ReplicaGroup",
+]

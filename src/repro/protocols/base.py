@@ -1,0 +1,326 @@
+"""Base classes shared by every protocol implementation.
+
+:class:`ReplicaGroup` describes the replication group (n, f, addresses,
+view->leader mapping). :class:`BaseReplica` and :class:`BaseClient` carry
+the plumbing every protocol needs — client-request authentication,
+reply MACs, at-most-once caching, reply quorum collection, retransmission
+— so each protocol module implements only its message flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.crypto.backend import CryptoContext
+from repro.crypto.costmodel import CostModel
+from repro.crypto.hmacvec import PairwiseKeys
+from repro.net.endpoint import Endpoint
+from repro.protocols.messages import (
+    ClientReply,
+    ClientRequest,
+    authenticate_request,
+    verify_request,
+)
+from repro.sim.clock import ms
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Counter
+
+
+@dataclass(frozen=True)
+class ReplicaGroup:
+    """Static membership of one replication group."""
+
+    replica_addrs: Tuple[int, ...]
+    f: int
+
+    @property
+    def n(self) -> int:
+        """Total replica count."""
+        return len(self.replica_addrs)
+
+    def leader_index(self, view: int) -> int:
+        """Round-robin leader for a view number."""
+        return view % self.n
+
+    def leader_addr(self, view: int) -> int:
+        """Address of the view's leader."""
+        return self.replica_addrs[self.leader_index(view)]
+
+    @property
+    def quorum(self) -> int:
+        """2f+1: the intersection quorum."""
+        return 2 * self.f + 1
+
+    @property
+    def fast_quorum(self) -> int:
+        """3f+1: Zyzzyva's all-replicas fast path."""
+        return 3 * self.f + 1
+
+    def validate(self, min_factor: int = 3) -> None:
+        """Check n >= min_factor*f + 1 (3f+1 default, 2f+1 for MinBFT)."""
+        if self.n < min_factor * self.f + 1:
+            raise ValueError(
+                f"{self.n} replicas cannot tolerate f={self.f} "
+                f"(need {min_factor}f+1)"
+            )
+
+
+class BaseReplica(Endpoint):
+    """Common replica plumbing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        replica_id: int,
+        group: ReplicaGroup,
+        app,
+        crypto: CryptoContext,
+        pairwise: PairwiseKeys,
+        cost_model: Optional[CostModel] = None,
+        cores: int = 1,
+    ):
+        super().__init__(sim, f"replica-{replica_id}", cores=cores, cost_model=cost_model)
+        self.replica_id = replica_id
+        self.group = group
+        self.app = app
+        self.crypto = crypto
+        self.pairwise = pairwise
+        self.view = 0
+        self.metrics = Counter()
+        # At-most-once: latest (request_id, reply) per client.
+        self.client_table: Dict[int, Tuple[int, Optional[ClientReply]]] = {}
+        # Requests admitted to ordering but not yet executed (leader-side
+        # duplicate suppression against client retries).
+        self._inflight_requests: set = set()
+
+    # ------------------------------------------------------------- identity
+
+    @property
+    def is_leader(self) -> bool:
+        """Whether this replica leads the current view."""
+        return self.group.leader_index(self.view) == self.replica_id
+
+    @property
+    def leader_addr(self) -> int:
+        """Current view's leader address."""
+        return self.group.leader_addr(self.view)
+
+    def peers(self) -> List[int]:
+        """Addresses of the other replicas."""
+        me = self.group.replica_addrs[self.replica_id]
+        return [addr for addr in self.group.replica_addrs if addr != me]
+
+    def broadcast(self, message: object, include_self: bool = False) -> None:
+        """Send to all other replicas (optionally loop back to self)."""
+        for addr in self.peers():
+            self.send(addr, message)
+        if include_self:
+            self.execute_now(self.on_message, self.group.replica_addrs[self.replica_id], message)
+
+    # ------------------------------------------------------ client plumbing
+
+    def check_request_auth(self, request: ClientRequest) -> bool:
+        """Verify the client's MAC-vector entry (charged)."""
+        return verify_request(
+            self.pairwise, self.address, request, self.crypto.verify_mac
+        )
+
+    def is_duplicate(self, request: ClientRequest) -> Optional[ClientReply]:
+        """At-most-once check; returns the cached reply to resend, if any."""
+        seen = self.client_table.get(request.client_id)
+        if seen is None:
+            return None
+        last_id, reply = seen
+        if request.request_id < last_id:
+            return None  # ancient: ignore silently
+        if request.request_id == last_id:
+            return reply
+        return None
+
+    def remember_request(self, request: ClientRequest) -> None:
+        """Record the newest request id for a client."""
+        seen = self.client_table.get(request.client_id)
+        if seen is None or request.request_id > seen[0]:
+            self.client_table[request.client_id] = (request.request_id, None)
+
+    def admit_once(self, request: ClientRequest) -> bool:
+        """True the first time a not-yet-executed request is admitted.
+
+        Guards leaders against batching the same retried request twice
+        while it is still working through the agreement pipeline.
+        """
+        key = request.key()
+        if key in self._inflight_requests:
+            return False
+        self._inflight_requests.add(key)
+        return True
+
+    def settle_request(self, request: ClientRequest) -> None:
+        """Drop the in-flight marker once a request reaches execution."""
+        self._inflight_requests.discard(request.key())
+
+    def execution_dedupe(self, request: ClientRequest) -> Tuple[bool, Optional[ClientReply]]:
+        """At-most-once check at execution time.
+
+        Returns (should_execute, cached_reply). Execution state is
+        identical across correct replicas (they execute the same log), so
+        this decision is deterministic: re-ordered duplicates of an
+        already-executed request occupy their slot but do not mutate state.
+        """
+        seen = self.client_table.get(request.client_id)
+        if seen is None:
+            return True, None
+        last_id, reply = seen
+        if request.request_id > last_id:
+            return True, None
+        if request.request_id == last_id:
+            return False, reply
+        return False, None
+
+    def reply_to_client(self, client_id: int, reply: ClientReply) -> None:
+        """MAC and send a reply; caches it for duplicate retransmission."""
+        tag = self.crypto.mac(
+            self.pairwise.key_between(self.address, client_id), reply.signed_body()
+        )
+        tagged = ClientReply(
+            view=reply.view,
+            replica=reply.replica,
+            request_id=reply.request_id,
+            result=reply.result,
+            slot=reply.slot,
+            log_hash=reply.log_hash,
+            tag=tag,
+            extra=reply.extra,
+        )
+        seen = self.client_table.get(client_id)
+        if seen is not None and seen[0] == reply.request_id:
+            self.client_table[client_id] = (reply.request_id, tagged)
+        self.send(client_id, tagged)
+
+    # ------------------------------------------------------------ app hooks
+
+    def execute_op(self, op: bytes) -> Tuple[bytes, object]:
+        """Run one operation on the app, charging its modeled cost."""
+        self.charge(self.app.exec_cost_ns(op, self.cost))
+        return self.app.execute_with_undo(op)
+
+
+class BaseClient(Endpoint):
+    """Closed-loop client with reply-quorum collection and retransmission."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client_id_name: str,
+        group: ReplicaGroup,
+        crypto: CryptoContext,
+        pairwise: PairwiseKeys,
+        reply_quorum: int,
+        cost_model: Optional[CostModel] = None,
+        retry_timeout_ns: int = ms(5),
+    ):
+        super().__init__(sim, client_id_name, cores=1, cost_model=cost_model)
+        self.group = group
+        self.crypto = crypto
+        self.pairwise = pairwise
+        self.reply_quorum = reply_quorum
+        self.retry_timeout_ns = retry_timeout_ns
+        self.next_request_id = 1
+        self.inflight: Optional[ClientRequest] = None
+        self.inflight_since = 0
+        self._replies: Dict[Tuple, Dict[int, ClientReply]] = {}
+        self._retry_timer = None
+        self.completions = 0
+        self.retries = 0
+        # Harness hooks.
+        self.on_complete: Optional[Callable[[int, int, bytes], None]] = None
+        self.next_op: Optional[Callable[[], Optional[bytes]]] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Begin the closed loop (needs ``next_op`` installed)."""
+        self.execute_now(self._issue_next)
+
+    def _issue_next(self) -> None:
+        if self.next_op is None:
+            return
+        op = self.next_op()
+        if op is None:
+            return  # workload exhausted
+        self.submit(op)
+
+    def submit(self, op: bytes) -> int:
+        """Send one operation; returns its request id."""
+        if self.inflight is not None:
+            raise RuntimeError(f"{self.name}: one outstanding request at a time")
+        request = ClientRequest(self.address, self.next_request_id, op)
+        self.next_request_id += 1
+        request = authenticate_request(
+            self.pairwise, self.address, self.group.replica_addrs, request, self.crypto.mac
+        )
+        self.inflight = request
+        self.inflight_since = self.sim.now
+        self._replies.clear()
+        self.transmit_request(request, first=True)
+        self._arm_retry()
+        return request.request_id
+
+    def _arm_retry(self) -> None:
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+        self._retry_timer = self.set_timer(self.retry_timeout_ns, self._retry)
+
+    def _retry(self) -> None:
+        self._retry_timer = None
+        if self.inflight is None:
+            return
+        self.retries += 1
+        self.transmit_request(self.inflight, first=False)
+        self._arm_retry()
+
+    # ------------------------------------------------------------ transport
+
+    def transmit_request(self, request: ClientRequest, first: bool) -> None:
+        """Protocol-specific send; subclasses override."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- replies
+
+    def on_message(self, src: int, message: object) -> None:
+        if isinstance(message, ClientReply):
+            self._on_reply(src, message)
+
+    def verify_reply(self, src: int, reply: ClientReply) -> bool:
+        """Check the replica's MAC on a reply (charged)."""
+        key = self.pairwise.key_between(self.address, src)
+        return self.crypto.verify_mac(key, reply.signed_body(), reply.tag)
+
+    def _on_reply(self, src: int, reply: ClientReply) -> None:
+        if self.inflight is None or reply.request_id != self.inflight.request_id:
+            return
+        if src not in self.group.replica_addrs:
+            return
+        if not self.verify_reply(src, reply):
+            return
+        bucket = self._replies.setdefault(reply.match_key(), {})
+        bucket[src] = reply
+        if len(bucket) >= self.reply_quorum:
+            self.complete(reply.result)
+
+    def complete(self, result: bytes) -> None:
+        """Finish the in-flight request and continue the closed loop."""
+        if self.inflight is None:
+            return
+        request_id = self.inflight.request_id
+        latency = self.sim.now - self.inflight_since
+        self.inflight = None
+        self._replies.clear()
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
+        self.completions += 1
+        if self.on_complete is not None:
+            self.on_complete(request_id, latency, result)
+        self._issue_next()

@@ -1,0 +1,41 @@
+"""Cluster assembly for HotStuff."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.protocols.hotstuff.client import HotStuffClient
+from repro.protocols.hotstuff.replica import HotStuffReplica
+
+
+def build(options, sim, fabric, authority, pairwise, n):
+    """Wire a HotStuff cluster (called from repro.runtime.cluster)."""
+    from repro.runtime.cluster import Cluster, _bind_crypto, _make_group
+
+    group = _make_group(n, options.f)
+    replicas: List[HotStuffReplica] = []
+    for rid in range(n):
+        replica = HotStuffReplica(
+            sim, rid, group, options.app_factory(), crypto=None, pairwise=pairwise,
+            batch_size=options.resolved_batch(150),
+            cost_model=options.cost_model,
+            **options.replica_kwargs,
+        )
+        replica.attach(fabric, rid)
+        replica.crypto = _bind_crypto(replica, authority, options.cost_model)
+        replicas.append(replica)
+
+    clients: List[HotStuffClient] = []
+    for i in range(options.num_clients):
+        client = HotStuffClient(
+            sim, f"client-{i}", group, crypto=None, pairwise=pairwise,
+            cost_model=options.cost_model, **options.client_kwargs,
+        )
+        client.attach(fabric)
+        client.crypto = _bind_crypto(client, authority, options.cost_model)
+        clients.append(client)
+
+    return Cluster(
+        options=options, sim=sim, fabric=fabric, authority=authority,
+        pairwise=pairwise, group=group, replicas=replicas, clients=clients,
+    )

@@ -1,0 +1,220 @@
+"""The HotStuff replica: three threshold-signed vote rounds per batch."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.protocols.base import BaseReplica, ReplicaGroup
+from repro.protocols.batching import Batcher
+from repro.protocols.hotstuff.messages import (
+    Decide,
+    Phase,
+    Proposal,
+    QuorumCert,
+    Vote,
+    qc_body,
+)
+from repro.protocols.messages import ClientReply, ClientRequest
+from repro.protocols.pbft.messages import batch_digest
+
+
+class _BatchState:
+    __slots__ = ("batch", "digest", "votes", "qcs", "decided", "executed")
+
+    def __init__(self):
+        self.batch = None
+        self.digest = b""
+        self.votes: Dict[int, Dict[int, Vote]] = {p: {} for p in Phase}
+        self.qcs: Dict[int, QuorumCert] = {}
+        self.decided = False
+        self.executed = False
+
+
+class HotStuffReplica(BaseReplica):
+    """One HotStuff replica (stable leader = replica 0)."""
+
+    def __init__(
+        self,
+        sim,
+        replica_id: int,
+        group: ReplicaGroup,
+        app,
+        crypto,
+        pairwise,
+        batch_size: int = 150,
+        pipeline_depth: int = 1,
+        **kwargs,
+    ):
+        super().__init__(sim, replica_id, group, app, crypto, pairwise, **kwargs)
+        group.validate(min_factor=3)
+        self.batcher: Batcher[ClientRequest] = Batcher(
+            self._propose, max_batch=batch_size, max_outstanding=pipeline_depth
+        )
+        self.next_seq = 0
+        self.exec_cursor = 0
+        self.states: Dict[int, _BatchState] = {}
+        self.ops_executed = 0
+
+    def _state(self, seq: int) -> _BatchState:
+        state = self.states.get(seq)
+        if state is None:
+            state = _BatchState()
+            self.states[seq] = state
+        return state
+
+    # ------------------------------------------------------------ dispatch
+
+    def on_message(self, src: int, message: object) -> None:
+        if isinstance(message, ClientRequest):
+            self._on_request(src, message)
+        elif isinstance(message, Proposal):
+            self._on_proposal(src, message)
+        elif isinstance(message, Vote):
+            self._on_vote(src, message)
+        elif isinstance(message, Decide):
+            self._on_decide(src, message)
+
+    def _on_request(self, src: int, request: ClientRequest) -> None:
+        if not self.check_request_auth(request):
+            return
+        seen = self.client_table.get(request.client_id)
+        if seen is not None and seen[0] == request.request_id and seen[1] is not None:
+            self.send(request.client_id, seen[1])
+            return
+        if seen is not None and seen[0] >= request.request_id:
+            return
+        if self.is_leader:
+            if self.admit_once(request):
+                self.batcher.add(request)
+        else:
+            self.send(self.leader_addr, request)
+
+    # ------------------------------------------------------------- phases
+
+    def _propose(self, batch: List[ClientRequest]) -> None:
+        seq = self.next_seq
+        self.next_seq += 1
+        digest = batch_digest(tuple(batch))
+        self.charge(self.cost.sha256_ns * (len(batch) + 1))
+        state = self._state(seq)
+        state.batch = tuple(batch)
+        state.digest = digest
+        proposal = Proposal(self.view, seq, Phase.PREPARE, digest, tuple(batch))
+        self.broadcast(proposal)
+        self._cast_vote(seq, Phase.PREPARE, digest)
+
+    def _on_proposal(self, src: int, proposal: Proposal) -> None:
+        if proposal.view != self.view or src != self.leader_addr:
+            return
+        state = self._state(proposal.seq)
+        if proposal.phase == Phase.PREPARE:
+            if state.batch is not None:
+                return
+            self.charge(self.cost.sha256_ns * (len(proposal.batch) + 1))
+            if batch_digest(proposal.batch) != proposal.digest:
+                return
+            for request in proposal.batch:
+                if not self.check_request_auth(request):
+                    return
+            state.batch = proposal.batch
+            state.digest = proposal.digest
+            self._cast_vote(proposal.seq, Phase.PREPARE, proposal.digest)
+            return
+        # PRE_COMMIT / COMMIT carry the previous phase's QC.
+        justify = proposal.justify
+        if justify is None or justify.seq != proposal.seq:
+            return
+        if not self.crypto.verify_threshold_combined(justify.combined, justify.body()):
+            return
+        state.qcs[justify.phase] = justify
+        self._cast_vote(proposal.seq, proposal.phase, proposal.digest)
+
+    def _cast_vote(self, seq: int, phase: int, digest: bytes) -> None:
+        body = qc_body(self.view, seq, phase, digest)
+        share = self.crypto.threshold_share(body)
+        vote = Vote(self.view, seq, phase, digest, self.address, share)
+        if self.is_leader:
+            self._record_vote(vote)
+        else:
+            self.send(self.leader_addr, vote)
+
+    def _on_vote(self, src: int, vote: Vote) -> None:
+        if not self.is_leader or vote.view != self.view or vote.replica != src:
+            return
+        body = qc_body(vote.view, vote.seq, vote.phase, vote.digest)
+        if not self.crypto.verify_threshold_share(vote.share, body):
+            return
+        self._record_vote(vote)
+
+    def _record_vote(self, vote: Vote) -> None:
+        state = self._state(vote.seq)
+        votes = state.votes[vote.phase]
+        if vote.replica in votes or vote.phase in state.qcs:
+            return
+        votes[vote.replica] = vote
+        if len(votes) < self.group.quorum:
+            return
+        body = qc_body(vote.view, vote.seq, vote.phase, vote.digest)
+        combined = self.crypto.combine_threshold(body)
+        qc = QuorumCert(vote.view, vote.seq, vote.phase, vote.digest, combined)
+        state.qcs[vote.phase] = qc
+        if vote.phase == Phase.PREPARE:
+            self.broadcast(Proposal(self.view, vote.seq, Phase.PRE_COMMIT, vote.digest, (), qc))
+            self._cast_vote(vote.seq, Phase.PRE_COMMIT, vote.digest)
+        elif vote.phase == Phase.PRE_COMMIT:
+            self.broadcast(Proposal(self.view, vote.seq, Phase.COMMIT, vote.digest, (), qc))
+            self._cast_vote(vote.seq, Phase.COMMIT, vote.digest)
+        else:
+            self.broadcast(Decide(self.view, vote.seq, vote.digest, qc))
+            self._mark_decided(vote.seq)
+            if self.batcher.outstanding > 0:
+                self.batcher.batch_done()
+
+    def _on_decide(self, src: int, decide: Decide) -> None:
+        if decide.view != self.view or src != self.leader_addr:
+            return
+        justify = decide.justify
+        if justify.phase != Phase.COMMIT or justify.seq != decide.seq:
+            return
+        if not self.crypto.verify_threshold_combined(justify.combined, justify.body()):
+            return
+        state = self._state(decide.seq)
+        state.qcs[Phase.COMMIT] = justify
+        self._mark_decided(decide.seq)
+
+    # ------------------------------------------------------------ execution
+
+    def _mark_decided(self, seq: int) -> None:
+        state = self._state(seq)
+        if state.decided:
+            return
+        state.decided = True
+        while True:
+            current = self.states.get(self.exec_cursor)
+            if current is None or not current.decided or current.executed:
+                return
+            if current.batch is None:
+                return  # decide arrived before the batch itself
+            current.executed = True
+            for request in current.batch:
+                self._execute_request(request)
+            self.states.pop(self.exec_cursor, None)
+            self.exec_cursor += 1
+
+    def _execute_request(self, request: ClientRequest) -> None:
+        self.settle_request(request)
+        should_execute, cached = self.execution_dedupe(request)
+        if not should_execute:
+            if cached is not None:
+                self.send(request.client_id, cached)
+            return
+        result, _ = self.execute_op(request.op)
+        self.ops_executed += 1
+        self.client_table[request.client_id] = (request.request_id, None)
+        reply = ClientReply(
+            view=self.view,
+            replica=self.address,
+            request_id=request.request_id,
+            result=result,
+        )
+        self.reply_to_client(request.client_id, reply)

@@ -1,0 +1,148 @@
+"""The replica log with hash chaining and speculative rollback.
+
+Each slot holds either a client request (with its ordering evidence) or a
+committed no-op. The log maintains an O(1)-per-append hash chain over
+entry digests — NeoBFT replies carry the chain head (``log-hash``) so a
+client's 2f+1 matching replies prove 2f+1 replicas agree on the entire
+prefix, and the chain supports O(1) truncation for speculative rollback
+(§5.2's "roll back application state").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, List, Optional
+
+from repro.crypto.digests import HashChain, sha256_digest
+
+
+class EntryKind(str, Enum):
+    """What occupies a log slot."""
+
+    REQUEST = "request"
+    NOOP = "noop"
+
+
+@dataclass
+class LogEntry:
+    """One log slot's contents."""
+
+    kind: EntryKind
+    digest: bytes
+    request: Any = None  # ClientRequest for REQUEST entries
+    evidence: Any = None  # OrderingCertificate / quorum cert / gap cert
+    view: int = 0
+    epoch: int = 0
+    result: bytes = b""
+    executed: bool = False
+    undo: Optional[Callable[[], None]] = None
+    committed: bool = False
+
+
+NOOP_DIGEST = sha256_digest(b"no-op")
+
+
+class ReplicaLog:
+    """Append/overwrite log with chained heads and execution tracking."""
+
+    def __init__(self):
+        self.entries: List[LogEntry] = []
+        self.chain = HashChain()
+        self.exec_cursor = 0  # slots [0, exec_cursor) are executed
+        self.commit_cursor = 0  # slots [0, commit_cursor) are durable
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def next_slot(self) -> int:
+        """Index the next append lands in."""
+        return len(self.entries)
+
+    def get(self, slot: int) -> Optional[LogEntry]:
+        """Entry at ``slot`` (None when out of range)."""
+        if 0 <= slot < len(self.entries):
+            return self.entries[slot]
+        return None
+
+    def append(self, entry: LogEntry) -> int:
+        """Append; returns the slot index."""
+        self.entries.append(entry)
+        self.chain.append(entry.digest)
+        return len(self.entries) - 1
+
+    def head_hash(self) -> bytes:
+        """Current chain head over all entries."""
+        return self.chain.head
+
+    def hash_up_to(self, slot: int) -> bytes:
+        """Chain head over slots [0, slot]."""
+        return self.chain.head_at(slot + 1)
+
+    # ------------------------------------------------------------ overwrite
+
+    def overwrite_with_noop(self, slot: int, evidence: Any, view: int) -> List[LogEntry]:
+        """Replace ``slot`` with a committed no-op (gap/view-change outcome).
+
+        Rolls back execution if the slot (or anything after it) already
+        executed; returns the suffix entries [slot+1:] that must be
+        re-executed by the caller (their ``executed`` flags are cleared).
+        """
+        if not 0 <= slot < len(self.entries):
+            raise IndexError(f"no slot {slot} to overwrite")
+        suffix = self.rollback_to(slot)
+        noop = LogEntry(
+            kind=EntryKind.NOOP,
+            digest=NOOP_DIGEST,
+            evidence=evidence,
+            view=view,
+            executed=False,
+            committed=True,
+        )
+        self.entries[slot] = noop
+        # Rebuild the chain from the overwritten slot forward.
+        self.chain.truncate(slot)
+        for entry in self.entries[slot:]:
+            self.chain.append(entry.digest)
+        return suffix
+
+    def rollback_to(self, slot: int) -> List[LogEntry]:
+        """Undo execution of slots >= ``slot``; returns those entries.
+
+        Undo closures run in reverse order, restoring application state to
+        just before ``slot`` executed.
+        """
+        if self.exec_cursor <= slot:
+            return self.entries[slot:]
+        for entry in reversed(self.entries[slot : self.exec_cursor]):
+            if entry.executed and entry.undo is not None:
+                entry.undo()
+            entry.executed = False
+            entry.undo = None
+        self.exec_cursor = slot
+        return self.entries[slot:]
+
+    # ------------------------------------------------------------ execution
+
+    def next_unexecuted(self) -> Optional[int]:
+        """Lowest slot not yet executed, if it exists."""
+        if self.exec_cursor < len(self.entries):
+            return self.exec_cursor
+        return None
+
+    def mark_executed(self, slot: int, result: bytes, undo) -> None:
+        """Record execution of the slot at the cursor."""
+        if slot != self.exec_cursor:
+            raise ValueError(f"out-of-order execution: {slot} != {self.exec_cursor}")
+        entry = self.entries[slot]
+        entry.executed = True
+        entry.result = result
+        entry.undo = undo
+        self.exec_cursor += 1
+
+    def mark_committed_up_to(self, slot: int) -> None:
+        """Advance the durable prefix (state sync / commit decisions)."""
+        self.commit_cursor = max(self.commit_cursor, min(slot + 1, len(self.entries)))
+        for entry in self.entries[: self.commit_cursor]:
+            entry.committed = True

@@ -1,0 +1,43 @@
+"""Cluster assembly for MinBFT (n = 2f+1)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.protocols.minbft.client import MinBftClient
+from repro.protocols.minbft.replica import MinBftReplica
+
+
+def build(options, sim, fabric, authority, pairwise, n):
+    """Wire a MinBFT cluster (called from repro.runtime.cluster)."""
+    from repro.runtime.cluster import Cluster, _bind_crypto, _make_group
+
+    group = _make_group(n, options.f)
+    replicas: List[MinBftReplica] = []
+    for rid in range(n):
+        replica = MinBftReplica(
+            sim, rid, group, options.app_factory(), crypto=None, pairwise=pairwise,
+            authority=authority,
+            batch_size=options.resolved_batch(10),
+            cost_model=options.cost_model,
+            **options.replica_kwargs,
+        )
+        replica.attach(fabric, rid)
+        replica.crypto = _bind_crypto(replica, authority, options.cost_model)
+        replica.init_usig()
+        replicas.append(replica)
+
+    clients: List[MinBftClient] = []
+    for i in range(options.num_clients):
+        client = MinBftClient(
+            sim, f"client-{i}", group, crypto=None, pairwise=pairwise,
+            cost_model=options.cost_model, **options.client_kwargs,
+        )
+        client.attach(fabric)
+        client.crypto = _bind_crypto(client, authority, options.cost_model)
+        clients.append(client)
+
+    return Cluster(
+        options=options, sim=sim, fabric=fabric, authority=authority,
+        pairwise=pairwise, group=group, replicas=replicas, clients=clients,
+    )

@@ -1,0 +1,209 @@
+"""The MinBFT replica: prepare/commit with USIG counters, 2f+1 replicas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.digests import digest_concat, digest_int
+from repro.protocols.base import BaseReplica, ReplicaGroup
+from repro.protocols.batching import Batcher
+from repro.protocols.messages import ClientReply, ClientRequest
+from repro.protocols.minbft.usig import Usig, UsigCertificate
+from repro.protocols.pbft.messages import batch_digest
+
+
+@dataclass(frozen=True)
+class MinBftPrepare:
+    """<PREPARE, v, batch, UI_p> from the primary."""
+
+    view: int
+    digest: bytes
+    batch: Tuple[ClientRequest, ...]
+    ui: UsigCertificate
+
+    def wire_size(self) -> int:
+        return 44 + sum(r.wire_size() for r in self.batch) + self.ui.wire_size()
+
+
+@dataclass(frozen=True)
+class MinBftCommit:
+    """<COMMIT, v, replica, UI_p, UI_i> broadcast by every replica."""
+
+    view: int
+    replica: int
+    digest: bytes
+    primary_ui: UsigCertificate
+    ui: UsigCertificate
+
+    def wire_size(self) -> int:
+        return 48 + self.primary_ui.wire_size() + self.ui.wire_size()
+
+
+class _PrepareState:
+    __slots__ = ("prepare", "commits", "executed")
+
+    def __init__(self):
+        self.prepare: Optional[MinBftPrepare] = None
+        self.commits: Dict[int, MinBftCommit] = {}
+        self.executed = False
+
+
+class MinBftReplica(BaseReplica):
+    """One MinBFT replica (n = 2f+1)."""
+
+    def __init__(
+        self,
+        sim,
+        replica_id: int,
+        group: ReplicaGroup,
+        app,
+        crypto,
+        pairwise,
+        authority=None,
+        batch_size: int = 10,
+        **kwargs,
+    ):
+        super().__init__(sim, replica_id, group, app, crypto, pairwise, **kwargs)
+        group.validate(min_factor=2)
+        self.authority = authority
+        self.usig: Optional[Usig] = None  # needs the bound crypto context
+        self.batcher: Batcher[ClientRequest] = Batcher(
+            self._send_prepare, max_batch=batch_size, max_outstanding=2
+        )
+        # Prepares keyed by the primary's USIG counter value; executed
+        # strictly in counter order (the USIG guarantees no gaps).
+        self.states: Dict[int, _PrepareState] = {}
+        # Primary USIG counters of accepted prepares, in arrival order;
+        # the primary's counter also advances on its own commits, so
+        # prepare counters are increasing but not contiguous.
+        self._order: list = []
+        self.ops_executed = 0
+
+    def init_usig(self) -> None:
+        """Create the trusted component (after crypto binding)."""
+        self.usig = Usig(self.replica_id, self.authority, self.crypto)
+
+    def _state(self, counter: int) -> _PrepareState:
+        state = self.states.get(counter)
+        if state is None:
+            state = _PrepareState()
+            self.states[counter] = state
+        return state
+
+    # ------------------------------------------------------------ dispatch
+
+    def on_message(self, src: int, message: object) -> None:
+        if isinstance(message, ClientRequest):
+            self._on_request(src, message)
+        elif isinstance(message, MinBftPrepare):
+            self._on_prepare(src, message)
+        elif isinstance(message, MinBftCommit):
+            self._on_commit(src, message)
+
+    def _on_request(self, src: int, request: ClientRequest) -> None:
+        if not self.check_request_auth(request):
+            return
+        seen = self.client_table.get(request.client_id)
+        if seen is not None and seen[0] == request.request_id and seen[1] is not None:
+            self.send(request.client_id, seen[1])
+            return
+        if seen is not None and seen[0] >= request.request_id:
+            return
+        if self.is_leader:
+            if self.admit_once(request):
+                self.batcher.add(request)
+        else:
+            self.send(self.leader_addr, request)
+
+    # -------------------------------------------------------------- phases
+
+    def _send_prepare(self, batch: List[ClientRequest]) -> None:
+        digest = batch_digest(tuple(batch))
+        self.charge(self.cost.sha256_ns * (len(batch) + 1))
+        ui = self.usig.create_ui(digest)
+        prepare = MinBftPrepare(self.view, digest, tuple(batch), ui)
+        self.broadcast(prepare)
+        self._accept_prepare(prepare)
+
+    def _on_prepare(self, src: int, prepare: MinBftPrepare) -> None:
+        if prepare.view != self.view or src != self.leader_addr:
+            return
+        self.charge(self.cost.sha256_ns * (len(prepare.batch) + 1))
+        if batch_digest(prepare.batch) != prepare.digest:
+            return
+        if not self.usig.verify_ui(prepare.ui, prepare.digest):
+            return
+        for request in prepare.batch:
+            if not self.check_request_auth(request):
+                return
+        self._accept_prepare(prepare)
+
+    def _accept_prepare(self, prepare: MinBftPrepare) -> None:
+        state = self._state(prepare.ui.counter)
+        if state.prepare is not None:
+            return
+        state.prepare = prepare
+        self._order.append(prepare.ui.counter)
+        my_ui = self.usig.create_ui(
+            digest_concat(b"commit", prepare.digest, digest_int(prepare.ui.counter))
+        )
+        commit = MinBftCommit(self.view, self.address, prepare.digest, prepare.ui, my_ui)
+        self.broadcast(commit)
+        self._record_commit(commit)
+        self._try_execute()
+
+    def _on_commit(self, src: int, commit: MinBftCommit) -> None:
+        if commit.view != self.view or commit.replica != src:
+            return
+        if not self.usig.verify_ui(
+            commit.ui,
+            digest_concat(b"commit", commit.digest, digest_int(commit.primary_ui.counter)),
+        ):
+            return
+        state = self._state(commit.primary_ui.counter)
+        if state.prepare is None and commit.replica == self.leader_addr:
+            pass  # primary's commit can arrive before its prepare: buffer
+        self._record_commit(commit)
+        self._try_execute()
+
+    def _record_commit(self, commit: MinBftCommit) -> None:
+        state = self._state(commit.primary_ui.counter)
+        state.commits[commit.replica] = commit
+
+    def _try_execute(self) -> None:
+        while self._order:
+            head = self._order[0]
+            state = self.states.get(head)
+            if (
+                state is None
+                or state.executed
+                or state.prepare is None
+                or len(state.commits) < self.group.f + 1
+            ):
+                return
+            state.executed = True
+            for request in state.prepare.batch:
+                self._execute_request(request)
+            self.states.pop(head, None)
+            self._order.pop(0)
+            if self.is_leader and self.batcher.outstanding > 0:
+                self.batcher.batch_done()
+
+    def _execute_request(self, request: ClientRequest) -> None:
+        self.settle_request(request)
+        should_execute, cached = self.execution_dedupe(request)
+        if not should_execute:
+            if cached is not None:
+                self.send(request.client_id, cached)
+            return
+        result, _ = self.execute_op(request.op)
+        self.ops_executed += 1
+        self.client_table[request.client_id] = (request.request_id, None)
+        reply = ClientReply(
+            view=self.view,
+            replica=self.address,
+            request_id=request.request_id,
+            result=result,
+        )
+        self.reply_to_client(request.client_id, reply)

@@ -1,0 +1,27 @@
+"""NeoBFT (§5): single-RTT BFT replication over authenticated in-network
+ordering.
+
+Normal case: clients multicast requests through aom; every correct replica
+delivers them in the same order with a verifiable ordering certificate, so
+replicas execute speculatively and reply immediately — no cross-replica
+communication, two message delays, O(1) bottleneck complexity.
+
+Exception paths implemented per the paper:
+
+- **query / query-reply** (§5.4): a non-leader that received a
+  drop-notification fetches the missing ordering certificate from the
+  leader (no signatures needed — certificates are self-verifying);
+- **gap agreement** (§5.4): when the leader itself saw the drop, a
+  PBFT-style binary agreement commits either the certificate (one
+  ``gap-recv`` suffices) or a no-op (2f+1 ``gap-drop`` evidence forms a
+  drop certificate);
+- **view changes** (§5.5, B.1): leader replacement and sequencer (epoch)
+  replacement, with epoch certificates and the four-step log merge;
+- **state synchronization** (B.2): periodic sync-points that finalize the
+  speculative prefix and bound rollback depth.
+"""
+
+from repro.protocols.neobft.replica import NeoBftReplica
+from repro.protocols.neobft.client import NeoBftClient
+
+__all__ = ["NeoBftClient", "NeoBftReplica"]

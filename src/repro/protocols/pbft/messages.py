@@ -1,0 +1,156 @@
+"""PBFT wire formats.
+
+Normal-case messages are MAC-vector authenticated; view-change evidence is
+signed (it must convince third parties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.backend import Signature
+from repro.crypto.digests import digest_concat, digest_int
+from repro.crypto.hmacvec import HmacVector
+from repro.protocols.messages import ClientRequest
+
+
+def batch_digest(batch: Tuple[ClientRequest, ...]) -> bytes:
+    """Digest of an ordered request batch."""
+    return digest_concat(b"batch", *[r.canonical() for r in batch])
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    """<PRE-PREPARE, v, n, d> plus the request batch (piggybacked)."""
+
+    view: int
+    seq: int
+    digest: bytes
+    batch: Tuple[ClientRequest, ...]
+    auth: Optional[HmacVector] = None
+
+    def signed_body(self) -> bytes:
+        return digest_concat(
+            b"pre-prepare", digest_int(self.view), digest_int(self.seq), self.digest
+        )
+
+    def wire_size(self) -> int:
+        size = 52 + sum(r.wire_size() for r in self.batch)
+        if self.auth is not None:
+            size += self.auth.wire_size()
+        return size
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """<PREPARE, v, n, d, i>."""
+
+    view: int
+    seq: int
+    digest: bytes
+    replica: int
+    auth: Optional[HmacVector] = None
+
+    def signed_body(self) -> bytes:
+        return digest_concat(
+            b"prepare",
+            digest_int(self.view),
+            digest_int(self.seq),
+            self.digest,
+            digest_int(self.replica),
+        )
+
+
+@dataclass(frozen=True)
+class Commit:
+    """<COMMIT, v, n, d, i>."""
+
+    view: int
+    seq: int
+    digest: bytes
+    replica: int
+    auth: Optional[HmacVector] = None
+
+    def signed_body(self) -> bytes:
+        return digest_concat(
+            b"commit",
+            digest_int(self.view),
+            digest_int(self.seq),
+            self.digest,
+            digest_int(self.replica),
+        )
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """<CHECKPOINT, n, d, i>."""
+
+    seq: int
+    state_digest: bytes
+    replica: int
+    auth: Optional[HmacVector] = None
+
+    def signed_body(self) -> bytes:
+        return digest_concat(
+            b"checkpoint", digest_int(self.seq), self.state_digest, digest_int(self.replica)
+        )
+
+
+@dataclass(frozen=True)
+class PreparedProof:
+    """One prepared batch carried in a view-change message."""
+
+    seq: int
+    view: int
+    digest: bytes
+    batch: Tuple[ClientRequest, ...]
+
+    def wire_size(self) -> int:
+        return 52 + sum(r.wire_size() for r in self.batch)
+
+
+@dataclass(frozen=True)
+class PbftViewChange:
+    """<VIEW-CHANGE, v+1, n, P, i> (signed)."""
+
+    new_view: int
+    last_stable: int
+    prepared: Tuple[PreparedProof, ...]
+    replica: int
+    signature: Optional[Signature] = None
+
+    def signed_body(self) -> bytes:
+        return digest_concat(
+            b"pbft-view-change",
+            digest_int(self.new_view),
+            digest_int(self.last_stable),
+            digest_int(self.replica),
+            *[p.digest for p in self.prepared],
+        )
+
+    def wire_size(self) -> int:
+        return 80 + sum(p.wire_size() for p in self.prepared)
+
+
+@dataclass(frozen=True)
+class PbftNewView:
+    """<NEW-VIEW, v+1, V, O> (signed)."""
+
+    new_view: int
+    view_changes: Tuple[PbftViewChange, ...]
+    pre_prepares: Tuple[PrePrepare, ...]
+    signature: Optional[Signature] = None
+
+    def signed_body(self) -> bytes:
+        return digest_concat(
+            b"pbft-new-view",
+            digest_int(self.new_view),
+            digest_int(len(self.view_changes)),
+            *[p.digest for p in self.pre_prepares],
+        )
+
+    def wire_size(self) -> int:
+        return 64 + sum(v.wire_size() for v in self.view_changes) + sum(
+            p.wire_size() for p in self.pre_prepares
+        )

@@ -1,0 +1,436 @@
+"""The PBFT replica: three-phase agreement with batching and checkpoints."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.protocols.base import BaseReplica, ReplicaGroup
+from repro.protocols.batching import Batcher
+from repro.protocols.messages import ClientReply, ClientRequest
+from repro.protocols.pbft.messages import (
+    Checkpoint,
+    Commit,
+    PbftNewView,
+    PbftViewChange,
+    PrePrepare,
+    Prepare,
+    PreparedProof,
+    batch_digest,
+)
+from repro.sim.clock import ms
+
+
+class _SlotState:
+    """Per-sequence-number agreement state."""
+
+    __slots__ = ("pre_prepare", "prepares", "commits", "prepared",
+                 "committed", "executed", "sent_commit")
+
+    def __init__(self):
+        self.pre_prepare: Optional[PrePrepare] = None
+        self.prepares: Dict[int, Prepare] = {}
+        self.commits: Dict[int, Commit] = {}
+        self.prepared = False
+        self.committed = False
+        self.executed = False
+        self.sent_commit = False
+
+
+class PbftReplica(BaseReplica):
+    """One PBFT replica (primary when ``view % n == replica_id``)."""
+
+    def __init__(
+        self,
+        sim,
+        replica_id: int,
+        group: ReplicaGroup,
+        app,
+        crypto,
+        pairwise,
+        batch_size: int = 64,
+        checkpoint_interval: int = 128,
+        request_timeout_ns: int = ms(4),
+        **kwargs,
+    ):
+        super().__init__(sim, replica_id, group, app, crypto, pairwise, **kwargs)
+        group.validate(min_factor=3)
+        self.batcher: Batcher[ClientRequest] = Batcher(
+            self._send_pre_prepare, max_batch=batch_size, max_outstanding=2
+        )
+        self.checkpoint_interval = checkpoint_interval
+        self.request_timeout_ns = request_timeout_ns
+        self.next_seq = 0  # primary's sequence counter
+        self.exec_cursor = 0  # next seq to execute
+        self.slots: Dict[int, _SlotState] = {}
+        self.last_stable = -1
+        self._checkpoints: Dict[int, Dict[int, Checkpoint]] = {}
+        self.in_view_change = False
+        self._vc_messages: Dict[int, Dict[int, PbftViewChange]] = {}
+        self._vc_target: Optional[int] = None
+        self._request_timers: Dict[Tuple[int, int], object] = {}
+        self.ops_executed = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    def _slot(self, seq: int) -> _SlotState:
+        state = self.slots.get(seq)
+        if state is None:
+            state = _SlotState()
+            self.slots[seq] = state
+        return state
+
+    def _mac_broadcast(self, message, body: bytes) -> None:
+        """Attach a MAC vector for all peers and broadcast."""
+        peers = self.peers()
+        vector_tags = tuple(
+            (rid, self.crypto.mac(self.pairwise.key_between(self.address, rid), body))
+            for rid in peers
+        )
+        from repro.crypto.hmacvec import HmacVector
+
+        authed = type(message)(**{**message.__dict__, "auth": HmacVector(vector_tags)})
+        for rid in peers:
+            self.send(rid, authed)
+
+    def _verify_mac(self, src: int, message) -> bool:
+        if message.auth is None or not message.auth.has_entry(self.address):
+            return False
+        key = self.pairwise.key_between(self.address, src)
+        return self.crypto.verify_mac(
+            key, message.signed_body(), message.auth.tag_for(self.address)
+        )
+
+    # ------------------------------------------------------------ dispatch
+
+    def on_message(self, src: int, message: object) -> None:
+        if isinstance(message, ClientRequest):
+            self._on_request(src, message)
+        elif self.in_view_change and not isinstance(
+            message, (PbftViewChange, PbftNewView)
+        ):
+            return
+        elif isinstance(message, PrePrepare):
+            self._on_pre_prepare(src, message)
+        elif isinstance(message, Prepare):
+            self._on_prepare(src, message)
+        elif isinstance(message, Commit):
+            self._on_commit(src, message)
+        elif isinstance(message, Checkpoint):
+            self._on_checkpoint(src, message)
+        elif isinstance(message, PbftViewChange):
+            self._on_view_change(src, message)
+        elif isinstance(message, PbftNewView):
+            self._on_new_view(src, message)
+
+    # ------------------------------------------------------- client requests
+
+    def _on_request(self, src: int, request: ClientRequest) -> None:
+        if not self.check_request_auth(request):
+            self.metrics.add("bad_auth")
+            return
+        seen = self.client_table.get(request.client_id)
+        if seen is not None and seen[0] == request.request_id and seen[1] is not None:
+            self.send(request.client_id, seen[1])
+            return
+        if seen is not None and seen[0] >= request.request_id:
+            return
+        if self.is_leader:
+            if self.admit_once(request):
+                self.batcher.add(request)
+        else:
+            # Forward to the primary and start the view-change timer.
+            self.send(self.leader_addr, request)
+            self._arm_request_timer(request)
+
+    def _arm_request_timer(self, request: ClientRequest) -> None:
+        key = request.key()
+        if key in self._request_timers:
+            return
+
+        def fire() -> None:
+            self._request_timers.pop(key, None)
+            seen = self.client_table.get(request.client_id)
+            executed = seen is not None and seen[0] >= request.request_id
+            if not executed and not self.in_view_change:
+                self.metrics.add("primary_suspicions")
+                self._initiate_view_change(self.view + 1)
+
+        self._request_timers[key] = self.set_timer(self.request_timeout_ns, fire)
+
+    def _clear_request_timer(self, request: ClientRequest) -> None:
+        timer = self._request_timers.pop(request.key(), None)
+        if timer is not None:
+            timer.cancel()
+
+    # --------------------------------------------------------- normal case
+
+    def _send_pre_prepare(self, batch: List[ClientRequest]) -> None:
+        seq = self.next_seq
+        self.next_seq += 1
+        digest = batch_digest(tuple(batch))
+        self.charge(self.cost.sha256_ns * (len(batch) + 1))
+        pre_prepare = PrePrepare(self.view, seq, digest, tuple(batch))
+        state = self._slot(seq)
+        state.pre_prepare = pre_prepare
+        self._mac_broadcast(pre_prepare, pre_prepare.signed_body())
+        # The primary does not send (or count) a prepare of its own; the
+        # pre-prepare plays that role. Check in case 2f prepares raced in.
+        self._check_prepared(seq)
+
+    def _on_pre_prepare(self, src: int, message: PrePrepare) -> None:
+        if message.view != self.view or src != self.leader_addr:
+            return
+        if not self._verify_mac(src, message):
+            return
+        state = self._slot(message.seq)
+        if state.pre_prepare is not None:
+            return
+        self.charge(self.cost.sha256_ns * (len(message.batch) + 1))
+        if batch_digest(message.batch) != message.digest:
+            return
+        # Authenticate every batched client request.
+        for request in message.batch:
+            if not self.check_request_auth(request):
+                return
+            self._clear_request_timer(request)
+        state.pre_prepare = message
+        prepare = Prepare(self.view, message.seq, message.digest, self.address)
+        self._mac_broadcast(prepare, prepare.signed_body())
+        self._add_prepare_vote(message.seq, prepare)
+
+    def _on_prepare(self, src: int, message: Prepare) -> None:
+        if message.view != self.view or message.replica != src:
+            return
+        if not self._verify_mac(src, message):
+            return
+        self._add_prepare_vote(message.seq, message)
+
+    def _add_prepare_vote(self, seq: int, prepare: Prepare) -> None:
+        if prepare.replica == self.group.leader_addr(self.view):
+            return  # the primary's pre-prepare stands in for its prepare
+        state = self._slot(seq)
+        state.prepares[prepare.replica] = prepare
+        self._check_prepared(seq)
+
+    def _check_prepared(self, seq: int) -> None:
+        # prepared == pre-prepare + 2f prepares from non-primary replicas
+        # (our own counts when we are a backup).
+        state = self._slot(seq)
+        if (
+            not state.prepared
+            and state.pre_prepare is not None
+            and len(state.prepares) >= 2 * self.group.f
+        ):
+            state.prepared = True
+            commit = Commit(self.view, seq, state.pre_prepare.digest, self.address)
+            state.sent_commit = True
+            self._mac_broadcast(commit, commit.signed_body())
+            self._add_commit_vote(seq, commit)
+
+    def _on_commit(self, src: int, message: Commit) -> None:
+        if message.view != self.view or message.replica != src:
+            return
+        if not self._verify_mac(src, message):
+            return
+        self._add_commit_vote(message.seq, message)
+
+    def _add_commit_vote(self, seq: int, commit: Commit) -> None:
+        state = self._slot(seq)
+        state.commits[commit.replica] = commit
+        if (
+            not state.committed
+            and state.pre_prepare is not None
+            and len(state.commits) >= self.group.quorum
+        ):
+            state.committed = True
+            self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        while True:
+            state = self.slots.get(self.exec_cursor)
+            if state is None or not state.committed or state.executed:
+                return
+            state.executed = True
+            assert state.pre_prepare is not None
+            for request in state.pre_prepare.batch:
+                self._execute_request(request)
+            seq = self.exec_cursor
+            self.exec_cursor += 1
+            if self.is_leader and self.batcher.outstanding > 0:
+                self.batcher.batch_done()
+            if (seq + 1) % self.checkpoint_interval == 0:
+                self._send_checkpoint(seq)
+
+    def _execute_request(self, request: ClientRequest) -> None:
+        self.settle_request(request)
+        should_execute, cached = self.execution_dedupe(request)
+        if not should_execute:
+            if cached is not None:
+                self.send(request.client_id, cached)
+            return
+        result, _ = self.execute_op(request.op)
+        self.ops_executed += 1
+        self.client_table[request.client_id] = (request.request_id, None)
+        self._clear_request_timer(request)
+        reply = ClientReply(
+            view=self.view,
+            replica=self.address,
+            request_id=request.request_id,
+            result=result,
+        )
+        self.reply_to_client(request.client_id, reply)
+
+    # ---------------------------------------------------------- checkpoints
+
+    def _send_checkpoint(self, seq: int) -> None:
+        digest = self.app.digest()
+        self.charge(self.cost.sha256_ns)
+        checkpoint = Checkpoint(seq, digest, self.address)
+        self._mac_broadcast(checkpoint, checkpoint.signed_body())
+        self._add_checkpoint_vote(checkpoint)
+
+    def _on_checkpoint(self, src: int, message: Checkpoint) -> None:
+        if message.replica != src or not self._verify_mac(src, message):
+            return
+        self._add_checkpoint_vote(message)
+
+    def _add_checkpoint_vote(self, checkpoint: Checkpoint) -> None:
+        votes = self._checkpoints.setdefault(checkpoint.seq, {})
+        votes[checkpoint.replica] = checkpoint
+        if len(votes) >= self.group.quorum and checkpoint.seq > self.last_stable:
+            self.last_stable = checkpoint.seq
+            self.metrics.add("stable_checkpoints")
+            for seq in [s for s in self.slots if s <= checkpoint.seq]:
+                if self.slots[seq].executed:
+                    del self.slots[seq]
+            for seq in [s for s in self._checkpoints if s < checkpoint.seq]:
+                del self._checkpoints[seq]
+
+    # ---------------------------------------------------------- view change
+
+    def _prepared_proofs(self) -> Tuple[PreparedProof, ...]:
+        proofs = []
+        for seq, state in sorted(self.slots.items()):
+            if state.prepared and state.pre_prepare is not None and seq > self.last_stable:
+                proofs.append(
+                    PreparedProof(
+                        seq=seq,
+                        view=state.pre_prepare.view,
+                        digest=state.pre_prepare.digest,
+                        batch=state.pre_prepare.batch,
+                    )
+                )
+        return tuple(proofs)
+
+    def _initiate_view_change(self, new_view: int) -> None:
+        if self._vc_target is not None and self._vc_target >= new_view:
+            return
+        self.metrics.add("view_changes_started")
+        self.in_view_change = True
+        self._vc_target = new_view
+        vc = PbftViewChange(
+            new_view=new_view,
+            last_stable=self.last_stable,
+            prepared=self._prepared_proofs(),
+            replica=self.address,
+        )
+        vc = PbftViewChange(
+            vc.new_view, vc.last_stable, vc.prepared, vc.replica,
+            self.crypto.sign(vc.signed_body()),
+        )
+        self._vc_messages.setdefault(new_view, {})[self.address] = vc
+        self.broadcast(vc)
+        self._try_new_view(new_view)
+
+    def _on_view_change(self, src: int, vc: PbftViewChange) -> None:
+        if vc.replica != src or vc.new_view <= self.view:
+            return
+        if not self.crypto.verify(vc.signature, vc.signed_body()):
+            return
+        bucket = self._vc_messages.setdefault(vc.new_view, {})
+        bucket[vc.replica] = vc
+        # Join once f+1 distinct replicas are ahead of us.
+        voters = set()
+        for view, msgs in self._vc_messages.items():
+            if view > self.view:
+                voters.update(msgs)
+        if len(voters) > self.group.f and (
+            self._vc_target is None or vc.new_view > self._vc_target
+        ):
+            self._initiate_view_change(vc.new_view)
+        self._try_new_view(vc.new_view)
+
+    def _try_new_view(self, new_view: int) -> None:
+        if self.group.leader_index(new_view) != self.replica_id:
+            return
+        bucket = self._vc_messages.get(new_view, {})
+        if self.address not in bucket or len(bucket) < self.group.quorum:
+            return
+        if self.view >= new_view:
+            return
+        chosen = tuple(sorted(bucket.values(), key=lambda m: m.replica))[: self.group.quorum]
+        # O: re-issue pre-prepares for every prepared batch above the
+        # highest stable checkpoint, highest view wins per seq.
+        winners: Dict[int, PreparedProof] = {}
+        for vc in chosen:
+            for proof in vc.prepared:
+                current = winners.get(proof.seq)
+                if current is None or proof.view > current.view:
+                    winners[proof.seq] = proof
+        pre_prepares = tuple(
+            PrePrepare(new_view, proof.seq, proof.digest, proof.batch)
+            for seq, proof in sorted(winners.items())
+        )
+        new_view_msg = PbftNewView(new_view, chosen, pre_prepares)
+        new_view_msg = PbftNewView(
+            new_view, chosen, pre_prepares, self.crypto.sign(new_view_msg.signed_body())
+        )
+        self.broadcast(new_view_msg)
+        self._adopt_new_view(new_view_msg)
+
+    def _on_new_view(self, src: int, message: PbftNewView) -> None:
+        if message.new_view <= self.view:
+            return
+        if src != self.group.leader_addr(message.new_view):
+            return
+        if not self.crypto.verify(message.signature, message.signed_body()):
+            return
+        if len(message.view_changes) < self.group.quorum:
+            return
+        seen = set()
+        for vc in message.view_changes:
+            if vc.replica in seen or vc.new_view != message.new_view:
+                return
+            if not self.crypto.verify(vc.signature, vc.signed_body()):
+                return
+            seen.add(vc.replica)
+        self._adopt_new_view(message)
+
+    def _adopt_new_view(self, message: PbftNewView) -> None:
+        self.view = message.new_view
+        self.in_view_change = False
+        self._vc_target = None
+        self.metrics.add("views_entered")
+        for timer in self._request_timers.values():
+            timer.cancel()
+        self._request_timers.clear()
+        # Re-run agreement for carried-over batches in the new view.
+        max_seq = self.last_stable
+        for pre_prepare in message.pre_prepares:
+            state = self._slot(pre_prepare.seq)
+            if state.executed:
+                continue
+            self.slots[pre_prepare.seq] = _SlotState()
+            state = self.slots[pre_prepare.seq]
+            state.pre_prepare = pre_prepare
+            prepare = Prepare(self.view, pre_prepare.seq, pre_prepare.digest, self.address)
+            self._mac_broadcast(prepare, prepare.signed_body())
+            self._add_prepare_vote(pre_prepare.seq, prepare)
+            max_seq = max(max_seq, pre_prepare.seq)
+        if self.is_leader:
+            self.next_seq = max(self.next_seq, max_seq + 1)
+            self.batcher = Batcher(
+                self._send_pre_prepare,
+                max_batch=self.batcher.max_batch,
+                max_outstanding=self.batcher.max_outstanding,
+            )

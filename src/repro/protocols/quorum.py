@@ -1,0 +1,87 @@
+"""Quorum collection helpers.
+
+BFT protocols repeatedly collect "k matching messages from distinct
+senders"; :class:`QuorumTracker` centralizes the bookkeeping (distinctness
+by sender, matching by an application-chosen key) so each protocol's
+handler code stays close to its paper description.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+M = TypeVar("M")
+
+
+class QuorumTracker(Generic[M]):
+    """Collect messages until some match-key reaches a threshold."""
+
+    def __init__(self, threshold: int):
+        if threshold < 1:
+            raise ValueError("quorum threshold must be >= 1")
+        self.threshold = threshold
+        self._by_key: Dict[Hashable, Dict[int, M]] = {}
+        self._reached: Optional[Hashable] = None
+
+    def add(self, sender: int, match_key: Hashable, message: M) -> Optional[List[M]]:
+        """Record a message; returns the quorum list when first reached.
+
+        A sender contributes at most one message per match key; duplicates
+        are ignored. Returns None until the threshold is met, the full
+        matching set exactly once when it is met, and None afterwards.
+        """
+        bucket = self._by_key.setdefault(match_key, {})
+        if sender in bucket:
+            return None
+        bucket[sender] = message
+        if self._reached is None and len(bucket) >= self.threshold:
+            self._reached = match_key
+            return list(bucket.values())
+        return None
+
+    @property
+    def complete(self) -> bool:
+        """Whether some match key reached the threshold."""
+        return self._reached is not None
+
+    def count(self, match_key: Hashable) -> int:
+        """Distinct senders seen for a match key."""
+        return len(self._by_key.get(match_key, {}))
+
+    def messages(self, match_key: Hashable) -> List[M]:
+        """All messages collected under a match key."""
+        return list(self._by_key.get(match_key, {}).values())
+
+    def best(self) -> Tuple[Optional[Hashable], int]:
+        """(match_key, count) of the currently best-supported key."""
+        if not self._by_key:
+            return None, 0
+        key = max(self._by_key, key=lambda k: len(self._by_key[k]))
+        return key, len(self._by_key[key])
+
+
+class QuorumSet:
+    """A keyed family of trackers (one per slot / view / sequence)."""
+
+    def __init__(self, threshold: int):
+        self.threshold = threshold
+        self._trackers: Dict[Hashable, QuorumTracker] = {}
+
+    def tracker(self, key: Hashable) -> QuorumTracker:
+        """The tracker for ``key``, created on first use."""
+        tracker = self._trackers.get(key)
+        if tracker is None:
+            tracker = QuorumTracker(self.threshold)
+            self._trackers[key] = tracker
+        return tracker
+
+    def add(self, key: Hashable, sender: int, match_key: Hashable, message: Any):
+        """Shorthand: add to the tracker for ``key``."""
+        return self.tracker(key).add(sender, match_key, message)
+
+    def discard(self, key: Hashable) -> None:
+        """Drop state for a finished slot/view."""
+        self._trackers.pop(key, None)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._trackers

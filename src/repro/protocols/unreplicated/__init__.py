@@ -1,0 +1,9 @@
+"""Unreplicated baseline: one server, no fault tolerance.
+
+The "Unreplicated" series in Figures 7 and 10 — the upper bound any
+replication protocol is paying against.
+"""
+
+from repro.protocols.unreplicated.node import UnreplicatedClient, UnreplicatedServer
+
+__all__ = ["UnreplicatedClient", "UnreplicatedServer"]

@@ -1,0 +1,15 @@
+"""Zyzzyva (SOSP '07): speculative BFT.
+
+Fast path: the primary orders a batch, all replicas speculatively execute
+and reply; the client commits on 3f+1 *matching* speculative responses —
+three message delays. When only 2f+1 <= k < 3f+1 match (e.g. one faulty
+replica, the paper's Zyzzyva-F configuration), the client assembles a
+commit certificate from 2f+1 responses and runs one more round trip to
+gather 2f+1 local-commit acknowledgements — which is exactly why a single
+non-responding replica halves Zyzzyva's throughput in Figure 7.
+"""
+
+from repro.protocols.zyzzyva.replica import ZyzzyvaReplica
+from repro.protocols.zyzzyva.client import ZyzzyvaClient
+
+__all__ = ["ZyzzyvaClient", "ZyzzyvaReplica"]

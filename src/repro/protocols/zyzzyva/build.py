@@ -1,0 +1,48 @@
+"""Cluster assembly for Zyzzyva (and Zyzzyva-F via replica_kwargs)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.protocols.zyzzyva.client import ZyzzyvaClient
+from repro.protocols.zyzzyva.replica import ZyzzyvaReplica
+
+
+def build(options, sim, fabric, authority, pairwise, n):
+    """Wire a Zyzzyva cluster (called from repro.runtime.cluster).
+
+    ``options.replica_kwargs`` may contain ``silent_replicas`` — a set of
+    replica ids to run silent (the Zyzzyva-F configuration).
+    """
+    from repro.runtime.cluster import Cluster, _bind_crypto, _make_group
+
+    kwargs = dict(options.replica_kwargs)
+    silent = set(kwargs.pop("silent_replicas", ()))
+    group = _make_group(n, options.f)
+    replicas: List[ZyzzyvaReplica] = []
+    for rid in range(n):
+        replica = ZyzzyvaReplica(
+            sim, rid, group, options.app_factory(), crypto=None, pairwise=pairwise,
+            batch_size=options.resolved_batch(10),
+            silent=rid in silent,
+            cost_model=options.cost_model,
+            **kwargs,
+        )
+        replica.attach(fabric, rid)
+        replica.crypto = _bind_crypto(replica, authority, options.cost_model)
+        replicas.append(replica)
+
+    clients: List[ZyzzyvaClient] = []
+    for i in range(options.num_clients):
+        client = ZyzzyvaClient(
+            sim, f"client-{i}", group, crypto=None, pairwise=pairwise,
+            cost_model=options.cost_model, **options.client_kwargs,
+        )
+        client.attach(fabric)
+        client.crypto = _bind_crypto(client, authority, options.cost_model)
+        clients.append(client)
+
+    return Cluster(
+        options=options, sim=sim, fabric=fabric, authority=authority,
+        pairwise=pairwise, group=group, replicas=replicas, clients=clients,
+    )

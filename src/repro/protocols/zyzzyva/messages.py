@@ -1,0 +1,110 @@
+"""Zyzzyva wire formats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.digests import digest_concat, digest_int
+from repro.crypto.hmacvec import HmacVector
+from repro.protocols.messages import ClientRequest
+
+
+@dataclass(frozen=True)
+class OrderReq:
+    """<ORDER-REQ, v, n, h_n, d> plus the batch: primary -> replicas."""
+
+    view: int
+    seq: int
+    history: bytes  # hash-chained history digest after this batch
+    digest: bytes
+    batch: Tuple[ClientRequest, ...]
+    auth: Optional[HmacVector] = None
+
+    def signed_body(self) -> bytes:
+        return digest_concat(
+            b"order-req",
+            digest_int(self.view),
+            digest_int(self.seq),
+            self.history,
+            self.digest,
+        )
+
+    def wire_size(self) -> int:
+        size = 84 + sum(r.wire_size() for r in self.batch)
+        if self.auth is not None:
+            size += self.auth.wire_size()
+        return size
+
+
+@dataclass(frozen=True)
+class SpecResponseInfo:
+    """Extra fields a speculative reply carries (inside ClientReply.extra)."""
+
+    seq: int
+    history: bytes
+    order_digest: bytes
+
+
+@dataclass(frozen=True)
+class CommitCertEntry:
+    """One replica's contribution to a commit certificate."""
+
+    replica: int
+    seq: int
+    history: bytes
+    result_digest: bytes
+
+
+@dataclass(frozen=True)
+class ClientCommit:
+    """<COMMIT, cc>: client -> replicas when the fast path stalls."""
+
+    client_id: int
+    request_id: int
+    seq: int
+    history: bytes
+    entries: Tuple[CommitCertEntry, ...]
+    auth: Optional[HmacVector] = None
+
+    def signed_body(self) -> bytes:
+        return digest_concat(
+            b"client-commit",
+            digest_int(self.client_id),
+            digest_int(self.request_id),
+            digest_int(self.seq),
+            self.history,
+        )
+
+    def wire_size(self) -> int:
+        return 60 + 56 * len(self.entries)
+
+
+@dataclass(frozen=True)
+class LocalCommit:
+    """<LOCAL-COMMIT, v, d, h, i, c>: replica acknowledges the certificate."""
+
+    view: int
+    replica: int
+    client_id: int
+    request_id: int
+    seq: int
+    auth_tag: bytes = b""
+
+    def signed_body(self) -> bytes:
+        return digest_concat(
+            b"local-commit",
+            digest_int(self.view),
+            digest_int(self.replica),
+            digest_int(self.client_id),
+            digest_int(self.request_id),
+            digest_int(self.seq),
+        )
+
+
+@dataclass(frozen=True)
+class FillHole:
+    """<FILL-HOLE, v, n>: replica asks the primary for a missed batch."""
+
+    view: int
+    seq: int

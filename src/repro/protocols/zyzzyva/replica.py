@@ -1,0 +1,211 @@
+"""The Zyzzyva replica: speculative execution on the primary's order."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.digests import chain_step, sha256_digest
+from repro.protocols.base import BaseReplica, ReplicaGroup
+from repro.protocols.batching import TimedBatcher
+from repro.protocols.messages import ClientReply, ClientRequest
+from repro.protocols.pbft.messages import batch_digest
+from repro.protocols.zyzzyva.messages import (
+    ClientCommit,
+    FillHole,
+    LocalCommit,
+    OrderReq,
+    SpecResponseInfo,
+)
+
+_GENESIS_HISTORY = b"\x00" * 32
+
+
+class ZyzzyvaReplica(BaseReplica):
+    """One Zyzzyva replica.
+
+    ``silent`` makes the replica drop every message — the Zyzzyva-F
+    configuration of Figure 7 (a crashed/non-responding Byzantine node
+    that forces every request onto the two-phase client path).
+    """
+
+    def __init__(
+        self,
+        sim,
+        replica_id: int,
+        group: ReplicaGroup,
+        app,
+        crypto,
+        pairwise,
+        batch_size: int = 10,
+        silent: bool = False,
+        **kwargs,
+    ):
+        super().__init__(sim, replica_id, group, app, crypto, pairwise, **kwargs)
+        group.validate(min_factor=3)
+        self.silent = silent
+        self.batcher: TimedBatcher[ClientRequest] = TimedBatcher(
+            self, self._send_order_req, max_batch=batch_size, flush_after_ns=30_000
+        )
+        self.next_seq = 0  # primary's counter
+        self.exec_seq = 0  # next batch we expect to execute
+        self.history = _GENESIS_HISTORY
+        self.order_log: Dict[int, OrderReq] = {}
+        self._pending_order: Dict[int, OrderReq] = {}  # out-of-order buffer
+        self.committed_seq = -1
+        self.ops_executed = 0
+
+    # ------------------------------------------------------------ dispatch
+
+    def on_message(self, src: int, message: object) -> None:
+        if self.silent:
+            return
+        if isinstance(message, ClientRequest):
+            self._on_request(src, message)
+        elif isinstance(message, OrderReq):
+            self._on_order_req(src, message)
+        elif isinstance(message, ClientCommit):
+            self._on_client_commit(src, message)
+        elif isinstance(message, FillHole):
+            self._on_fill_hole(src, message)
+
+    # ------------------------------------------------------------ requests
+
+    def _on_request(self, src: int, request: ClientRequest) -> None:
+        if not self.check_request_auth(request):
+            return
+        seen = self.client_table.get(request.client_id)
+        if seen is not None and seen[0] == request.request_id and seen[1] is not None:
+            self.send(request.client_id, seen[1])
+            return
+        if seen is not None and seen[0] >= request.request_id:
+            return
+        if self.is_leader:
+            if self.admit_once(request):
+                self.batcher.add(request)
+        else:
+            self.send(self.leader_addr, request)
+
+    # ---------------------------------------------------------- order path
+
+    def _send_order_req(self, batch: List[ClientRequest]) -> None:
+        seq = self.next_seq
+        self.next_seq += 1
+        digest = batch_digest(tuple(batch))
+        self.charge(self.cost.sha256_ns * (len(batch) + 1))
+        new_history = chain_step(self.history, digest)
+        order = OrderReq(self.view, seq, new_history, digest, tuple(batch))
+        peers = self.peers()
+        from repro.crypto.hmacvec import HmacVector
+
+        tags = tuple(
+            (rid, self.crypto.mac(self.pairwise.key_between(self.address, rid),
+                                  order.signed_body()))
+            for rid in peers
+        )
+        authed = OrderReq(order.view, order.seq, order.history, order.digest,
+                          order.batch, HmacVector(tags))
+        for rid in peers:
+            self.send(rid, authed)
+        self._apply_order(order)
+
+    def _on_order_req(self, src: int, order: OrderReq) -> None:
+        if order.view != self.view or src != self.leader_addr:
+            return
+        if order.auth is None or not order.auth.has_entry(self.address):
+            return
+        key = self.pairwise.key_between(self.address, src)
+        if not self.crypto.verify_mac(key, order.signed_body(), order.auth.tag_for(self.address)):
+            return
+        self.charge(self.cost.sha256_ns * (len(order.batch) + 1))
+        if batch_digest(order.batch) != order.digest:
+            return
+        if order.seq > self.exec_seq:
+            # Missed an earlier batch: buffer and ask the primary.
+            self._pending_order[order.seq] = order
+            self.send(self.leader_addr, FillHole(self.view, self.exec_seq))
+            return
+        if order.seq < self.exec_seq:
+            return  # duplicate
+        self._apply_order(order)
+        # Drain any buffered successors.
+        while self.exec_seq in self._pending_order:
+            self._apply_order(self._pending_order.pop(self.exec_seq))
+
+    def _apply_order(self, order: OrderReq) -> None:
+        expected_history = chain_step(self.history, order.digest)
+        self.charge(self.cost.sha256_ns)
+        if expected_history != order.history:
+            return  # primary equivocated about history: ignore
+        self.history = expected_history
+        self.order_log[order.seq] = order
+        self.exec_seq = order.seq + 1
+        for request in order.batch:
+            if not self.check_request_auth(request):
+                continue
+            self._execute_speculatively(order, request)
+
+    def _execute_speculatively(self, order: OrderReq, request: ClientRequest) -> None:
+        self.settle_request(request)
+        should_execute, cached = self.execution_dedupe(request)
+        if not should_execute:
+            if cached is not None:
+                self.send(request.client_id, cached)
+            return
+        result, _ = self.execute_op(request.op)
+        self.ops_executed += 1
+        self.client_table[request.client_id] = (request.request_id, None)
+        reply = ClientReply(
+            view=self.view,
+            replica=self.address,
+            request_id=request.request_id,
+            result=result,
+            slot=order.seq,
+            log_hash=order.history,
+            extra=SpecResponseInfo(order.seq, order.history, order.digest),
+        )
+        self.reply_to_client(request.client_id, reply)
+
+    # ----------------------------------------------------- slow-path commit
+
+    def _on_client_commit(self, src: int, commit: ClientCommit) -> None:
+        entries = commit.entries
+        if len(entries) < self.group.quorum:
+            return
+        seen = set()
+        for entry in entries:
+            self.charge(self.cost.hmac_ns)  # certificate entry check
+            if entry.replica in seen or entry.replica not in self.group.replica_addrs:
+                return
+            if entry.seq != commit.seq or entry.history != commit.history:
+                return
+            seen.add(entry.replica)
+        if commit.seq >= self.exec_seq:
+            return  # we have not even speculated this far; ignore
+        self.committed_seq = max(self.committed_seq, commit.seq)
+        ack = LocalCommit(
+            view=self.view,
+            replica=self.address,
+            client_id=commit.client_id,
+            request_id=commit.request_id,
+            seq=commit.seq,
+        )
+        tag = self.crypto.mac(
+            self.pairwise.key_between(self.address, commit.client_id), ack.signed_body()
+        )
+        self.send(
+            commit.client_id,
+            LocalCommit(ack.view, ack.replica, ack.client_id, ack.request_id, ack.seq, tag),
+        )
+
+    def _on_fill_hole(self, src: int, fill: FillHole) -> None:
+        if not self.is_leader or fill.view != self.view:
+            return
+        order = self.order_log.get(fill.seq)
+        if order is None:
+            return
+        peers_key = self.pairwise.key_between(self.address, src)
+        from repro.crypto.hmacvec import HmacVector
+
+        tag = self.crypto.mac(peers_key, order.signed_body())
+        self.send(src, OrderReq(order.view, order.seq, order.history, order.digest,
+                                order.batch, HmacVector(((src, tag),))))

@@ -1,0 +1,146 @@
+"""Measurement harness: warmup/measure windows, sweeps, reporting."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.runtime.cluster import Cluster, ClusterOptions, build_cluster
+from repro.sim.clock import MICROSECOND, ms, secs
+from repro.sim.monitor import Histogram, RateMeter
+
+
+@dataclass
+class RunResult:
+    """Outcome of one measured run."""
+
+    protocol: str
+    num_clients: int
+    throughput_ops: float  # operations per second of virtual time
+    latency: Histogram  # end-to-end client latency (ns), window-gated
+    completions: int
+    retries: int
+    replica_metrics: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def median_latency_us(self) -> float:
+        return self.latency.median() / MICROSECOND if len(self.latency) else float("nan")
+
+    @property
+    def p99_latency_us(self) -> float:
+        return self.latency.percentile(99) / MICROSECOND if len(self.latency) else float("nan")
+
+    def row(self) -> str:
+        """One printable summary line."""
+        return (
+            f"{self.protocol:<14} clients={self.num_clients:<4} "
+            f"tput={self.throughput_ops/1000:8.1f}K ops/s  "
+            f"lat p50={self.median_latency_us:8.1f}us p99={self.p99_latency_us:8.1f}us"
+        )
+
+
+def default_echo_op(rng: random.Random, size: int = 64) -> Callable[[], bytes]:
+    """Factory of random echo payload generators (the §6.2 workload)."""
+
+    def next_op() -> bytes:
+        return bytes(rng.getrandbits(8) for _ in range(8)).ljust(size, b"\x00")
+
+    return next_op
+
+
+class Measurement:
+    """Runs one cluster through warmup + measurement windows."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        warmup_ns: int = ms(20),
+        duration_ns: int = ms(100),
+        next_op: Optional[Callable[[], bytes]] = None,
+        per_client_ops: Optional[Dict[int, Callable[[], bytes]]] = None,
+    ):
+        self.cluster = cluster
+        self.warmup_ns = warmup_ns
+        self.duration_ns = duration_ns
+        self.latency = Histogram("client-latency")
+        self.meter = RateMeter()
+        rng = cluster.sim.streams.get("workload.echo")
+        default = next_op or default_echo_op(rng)
+        for index, client in enumerate(cluster.clients):
+            if per_client_ops is not None:
+                client.next_op = per_client_ops[index]
+            else:
+                client.next_op = default
+            client.on_complete = self._make_hook()
+
+    def _make_hook(self):
+        sim = self.cluster.sim
+
+        def hook(request_id: int, latency_ns: int, result: bytes) -> None:
+            self.meter.record(sim.now)
+            if self.meter.window_start is not None and (
+                self.meter.window_end is None or sim.now <= self.meter.window_end
+            ):
+                if sim.now >= self.meter.window_start:
+                    self.latency.record(latency_ns)
+
+        return hook
+
+    def run(self) -> RunResult:
+        """Drive the cluster; returns windowed throughput and latency."""
+        sim = self.cluster.sim
+        for client in self.cluster.clients:
+            client.start()
+        sim.run_for(self.warmup_ns)
+        self.meter.open_window(sim.now)
+        sim.run_for(self.duration_ns)
+        self.meter.close_window(sim.now)
+        # Let in-flight requests finish so no client is mid-request when
+        # callers inspect state afterwards.
+        sim.run_for(ms(2))
+        merged_metrics: Dict[str, int] = {}
+        for replica in self.cluster.replicas:
+            for key, value in replica.metrics.as_dict().items():
+                merged_metrics[key] = merged_metrics.get(key, 0) + value
+        return RunResult(
+            protocol=self.cluster.options.protocol,
+            num_clients=len(self.cluster.clients),
+            throughput_ops=self.meter.throughput_per_sec(),
+            latency=self.latency,
+            completions=self.meter.total_completions,
+            retries=sum(c.retries for c in self.cluster.clients),
+            replica_metrics=merged_metrics,
+        )
+
+
+def run_once(
+    options: ClusterOptions,
+    warmup_ns: int = ms(20),
+    duration_ns: int = ms(100),
+    next_op: Optional[Callable[[], bytes]] = None,
+) -> RunResult:
+    """Convenience: build + measure in one call."""
+    cluster = build_cluster(options)
+    measurement = Measurement(cluster, warmup_ns, duration_ns, next_op)
+    return measurement.run()
+
+
+def latency_throughput_sweep(
+    base_options: ClusterOptions,
+    client_counts: List[int],
+    warmup_ns: int = ms(20),
+    duration_ns: int = ms(100),
+    next_op: Optional[Callable[[], bytes]] = None,
+) -> List[RunResult]:
+    """The Figure 7 sweep: one run per closed-loop client count."""
+    results = []
+    for count in client_counts:
+        options = ClusterOptions(**{**base_options.__dict__, "num_clients": count})
+        results.append(run_once(options, warmup_ns, duration_ns, next_op))
+    return results
+
+
+def max_throughput(results: List[RunResult]) -> RunResult:
+    """The knee point: highest-throughput run of a sweep."""
+    return max(results, key=lambda r: r.throughput_ops)

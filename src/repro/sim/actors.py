@@ -1,0 +1,200 @@
+"""Actors and their CPU models.
+
+An :class:`Actor` is anything with an identity that handles deliveries:
+replicas, clients, the aom configuration service, switch control planes.
+Each actor owns a :class:`Cpu` — a multi-server FIFO queue — so that message
+processing takes simulated time and actors saturate realistically: when
+offered load exceeds service capacity, queues grow and end-to-end latency
+inflates exactly as it does on a real server.
+
+Execution model for one delivery:
+
+1. the network hands the job to the actor's CPU at arrival time ``t``;
+2. the CPU assigns it to the earliest-free core; the handler body runs at
+   virtual time ``start = max(t, core_free_at)``;
+3. while running, the handler *charges* CPU time for the work it models
+   (per-message overhead, crypto operations) via :meth:`Actor.charge`;
+4. the core is then busy until ``start + charged``; messages the handler
+   produced depart at that completion instant, and timers it set count from
+   it — the work a handler does is not visible to the outside world before
+   the CPU time to do it has elapsed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.engine import EventHandle, Simulator
+
+
+class Cpu:
+    """A ``cores``-server FIFO queue attached to one actor.
+
+    Jobs are submitted at the current virtual time. If a core is idle the
+    job's handler body runs immediately and the core stays busy until the
+    handler's charged cost elapses; otherwise the job waits in a FIFO
+    queue and runs the instant a core frees. Queueing delay -- the source
+    of latency inflation under load -- therefore emerges from the model
+    rather than being scripted.
+    """
+
+    def __init__(self, sim: Simulator, cores: int = 1):
+        if cores < 1:
+            raise ValueError("a CPU needs at least one core")
+        self.sim = sim
+        self.cores = cores
+        self._busy = 0
+        self._queue: deque = deque()
+        self.busy_ns = 0
+        self.jobs_run = 0
+        self.max_queue_depth = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting for a core right now."""
+        return len(self._queue)
+
+    def submit(self, arrival: int, job: Callable[[], int]) -> None:
+        """Submit a job; ``arrival`` must not be in the future.
+
+        ``job`` runs its handler body and returns the charged CPU cost in
+        nanoseconds.
+        """
+        if arrival > self.sim.now:
+            raise ValueError("jobs cannot be submitted from the future")
+        if self._busy < self.cores:
+            self._busy += 1
+            self._start(job)
+        else:
+            self._queue.append(job)
+            if len(self._queue) > self.max_queue_depth:
+                self.max_queue_depth = len(self._queue)
+
+    def _start(self, job: Callable[[], int]) -> None:
+        cost = job()
+        if cost < 0:
+            raise ValueError("job reported negative CPU cost")
+        self.busy_ns += cost
+        self.jobs_run += 1
+        self.sim.schedule(cost, self._complete)
+
+    def _complete(self) -> None:
+        if self._queue:
+            self._start(self._queue.popleft())
+        else:
+            self._busy -= 1
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of total core-time spent busy over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.busy_ns / (elapsed_ns * self.cores)
+
+
+class Actor:
+    """Base class for simulated nodes with a CPU and deferred side effects.
+
+    Subclasses implement message handlers and call :meth:`charge` to account
+    for modeled work. Side effects requested during a handler (sends via the
+    attached network, timers via :meth:`set_timer`) are buffered and released
+    at the handler's CPU completion time.
+    """
+
+    def __init__(self, sim: Simulator, name: str, cores: int = 1):
+        self.sim = sim
+        self.name = name
+        self.cpu = Cpu(sim, cores)
+        self._charged = 0
+        self._in_handler = False
+        self._pending_effects: List[Tuple[Callable[..., Any], tuple]] = []
+
+    # ---------------------------------------------------------------- cost
+
+    def charge(self, cost_ns: int) -> None:
+        """Account ``cost_ns`` of CPU work to the current handler."""
+        if cost_ns < 0:
+            raise ValueError("cannot charge negative time")
+        self._charged += cost_ns
+
+    # ------------------------------------------------------------- effects
+
+    def defer(self, effect: Callable[..., Any], *args: Any) -> None:
+        """Run ``effect(*args)`` at the current handler's completion time.
+
+        Outside a handler the effect runs immediately (completion time is
+        "now" when no CPU work is in flight).
+        """
+        if self._in_handler:
+            self._pending_effects.append((effect, args))
+        else:
+            effect(*args)
+
+    def set_timer(self, delay: int, callback: Callable[..., None], *args: Any) -> "Timer":
+        """Arm a timer ``delay`` ns after the current handler completes."""
+        timer = Timer(self, delay, callback, args)
+        self.defer(timer._arm)
+        return timer
+
+    # ------------------------------------------------------------ dispatch
+
+    def execute(self, arrival: int, handler: Callable[..., None], *args: Any) -> None:
+        """Submit a handler invocation to this actor's CPU."""
+
+        def job() -> int:
+            self._charged = 0
+            self._in_handler = True
+            try:
+                handler(*args)
+            finally:
+                self._in_handler = False
+            cost = self._charged
+            effects = self._pending_effects
+            self._pending_effects = []
+            if effects:
+                completion = self.sim.now + cost
+                for effect, effect_args in effects:
+                    self.sim.schedule_at(completion, effect, *effect_args)
+            return cost
+
+        self.cpu.submit(arrival, job)
+
+    def execute_now(self, handler: Callable[..., None], *args: Any) -> None:
+        """Submit a handler arriving at the current virtual time."""
+        self.execute(self.sim.now, handler, *args)
+
+
+class Timer:
+    """A restartable timer owned by an actor.
+
+    The underlying engine event is created lazily (at handler completion),
+    so a timer can be cancelled before it was ever armed.
+    """
+
+    def __init__(self, actor: Actor, delay: int, callback: Callable[..., None], args: tuple):
+        self._actor = actor
+        self._delay = delay
+        self._callback = callback
+        self._args = args
+        self._handle: Optional[EventHandle] = None
+        self._cancelled = False
+        self._fired = False
+
+    def _arm(self) -> None:
+        if not self._cancelled:
+            self._handle = self._actor.sim.schedule(self._delay, self._fire)
+
+    def _fire(self) -> None:
+        self._fired = True
+        self._actor.execute_now(self._callback, *self._args)
+
+    def cancel(self) -> None:
+        """Stop the timer; the callback will not run."""
+        self._cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    @property
+    def active(self) -> bool:
+        """True until the timer fires or is cancelled."""
+        return not self._cancelled and not self._fired

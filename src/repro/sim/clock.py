@@ -1,0 +1,44 @@
+"""Virtual time units.
+
+All simulation timestamps and durations are plain Python integers counting
+nanoseconds. Integers keep arithmetic exact (no float drift over long runs)
+and make event ordering total and deterministic. The helpers below exist so
+calling code never hard-codes unit conversions.
+"""
+
+NANOSECOND = 1
+MICROSECOND = 1_000
+MILLISECOND = 1_000_000
+SECOND = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Duration of ``value`` nanoseconds."""
+    return int(round(value))
+
+
+def us(value: float) -> int:
+    """Duration of ``value`` microseconds."""
+    return int(round(value * MICROSECOND))
+
+
+def ms(value: float) -> int:
+    """Duration of ``value`` milliseconds."""
+    return int(round(value * MILLISECOND))
+
+
+def secs(value: float) -> int:
+    """Duration of ``value`` seconds."""
+    return int(round(value * SECOND))
+
+
+def format_duration(duration_ns: int) -> str:
+    """Render a duration in the most readable unit (e.g. ``12.5us``)."""
+    magnitude = abs(duration_ns)
+    if magnitude >= SECOND:
+        return f"{duration_ns / SECOND:.3f}s"
+    if magnitude >= MILLISECOND:
+        return f"{duration_ns / MILLISECOND:.3f}ms"
+    if magnitude >= MICROSECOND:
+        return f"{duration_ns / MICROSECOND:.3f}us"
+    return f"{duration_ns}ns"

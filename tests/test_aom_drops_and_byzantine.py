@@ -1,0 +1,180 @@
+"""aom under loss and Byzantine faults: drop detection, confirm quorums,
+sequencer equivocation."""
+
+import pytest
+
+from repro.aom.messages import AuthVariant, NetworkFaultModel
+from repro.faults.sequencer import equivocate_sequencer
+from repro.net.packet import Packet
+from repro.net.profiles import NetworkProfile
+from repro.sim.clock import ms
+
+from tests.aom_harness import AomRig
+
+
+def drop_leg(rig, receiver_addr, sequence):
+    """Install a one-shot filter dropping one switch->receiver leg."""
+    state = {"armed": True}
+
+    def predicate(packet: Packet) -> bool:
+        message = packet.message
+        if (
+            state["armed"]
+            and packet.dst == receiver_addr
+            and getattr(message, "sequence", None) == sequence
+        ):
+            state["armed"] = False
+            return True
+        return False
+
+    rig.fabric.add_drop_filter(predicate)
+
+
+class TestDropDetection:
+    def test_gap_generates_drop_notification(self):
+        rig = AomRig()
+        victim = rig.receivers[0]
+        drop_leg(rig, victim.address, 2)
+        rig.multicast_many(4)
+        rig.sim.run()
+        assert victim.delivered == [(1, "op0"), ("drop", 2), (3, "op2"), (4, "op3")]
+
+    def test_other_receivers_unaffected(self):
+        rig = AomRig()
+        drop_leg(rig, rig.receivers[0].address, 2)
+        rig.multicast_many(4)
+        rig.sim.run()
+        for host in rig.receivers[1:]:
+            assert host.delivered == [(i + 1, f"op{i}") for i in range(4)]
+
+    def test_drop_ordering_property_holds(self):
+        # Formal property: drop-notification for m is delivered before the
+        # next aom message after m.
+        rig = AomRig()
+        victim = rig.receivers[2]
+        drop_leg(rig, victim.address, 3)
+        rig.multicast_many(6)
+        rig.sim.run()
+        events = victim.delivered
+        drop_index = events.index(("drop", 3))
+        assert all(
+            seq < 3 for seq, _ in events[:drop_index]
+        ), "messages after the gap delivered before the drop-notification"
+
+    def test_multiple_consecutive_drops(self):
+        rig = AomRig()
+        victim = rig.receivers[1]
+        drop_leg(rig, victim.address, 2)
+        drop_leg(rig, victim.address, 3)
+        rig.multicast_many(5)
+        rig.sim.run()
+        assert victim.delivered == [
+            (1, "op0"), ("drop", 2), ("drop", 3), (4, "op3"), (5, "op4"),
+        ]
+
+    def test_partial_vector_drop_counts_as_message_drop(self):
+        rig = AomRig(receivers=6)  # 2 subgroup packets per message
+        victim = rig.receivers[0]
+        # Drop only one of the two subgroup packets of message 2.
+        state = {"armed": True}
+
+        def predicate(packet: Packet) -> bool:
+            message = packet.message
+            if (
+                state["armed"]
+                and packet.dst == victim.address
+                and getattr(message, "sequence", None) == 2
+                and getattr(message.auth, "subgroup_index", None) == 0
+            ):
+                state["armed"] = False
+                return True
+            return False
+
+        rig.fabric.add_drop_filter(predicate)
+        rig.multicast_many(3)
+        rig.sim.run()
+        assert ("drop", 2) in victim.delivered
+        assert (3, "op2") in victim.delivered
+
+    def test_random_loss_still_totally_ordered(self):
+        rig = AomRig(profile=NetworkProfile(drop_rate=0.05), seed=9)
+        rig.multicast_many(60)
+        rig.sim.run()
+        for host in rig.receivers:
+            seqs = [e[1] if e[0] == "drop" else e[0] for e in host.delivered]
+            assert seqs == sorted(seqs)
+            # Delivered messages agree across receivers at each sequence.
+        by_seq = {}
+        for host in rig.receivers:
+            for event in host.delivered:
+                if event[0] != "drop":
+                    seq, payload = event
+                    by_seq.setdefault(seq, set()).add(payload)
+        assert all(len(payloads) == 1 for payloads in by_seq.values())
+
+
+class TestByzantineNetworkMode:
+    def test_confirm_quorum_delivery(self):
+        rig = AomRig(fault_model=NetworkFaultModel.BYZANTINE)
+        rig.multicast_many(4)
+        rig.sim.run()
+        for host in rig.receivers:
+            assert [e[0] for e in host.delivered] == [1, 2, 3, 4]
+            for cert in host.certs:
+                assert len(cert.confirms) >= 3  # 2f+1 with f=1
+
+    def test_equivocation_blocks_delivery_in_bn_mode(self):
+        rig = AomRig(fault_model=NetworkFaultModel.BYZANTINE)
+        # The sequencer tells receiver 0 a different story for every packet.
+        equivocate_sequencer(rig.sequencer, {rig.receivers[0].address: b"\x66" * 32})
+        rig.multicast_many(3)
+        rig.sim.run(until=ms(50))
+        # Honest receivers 1..3 can still assemble 2f+1 = 3 confirms.
+        for host in rig.receivers[1:]:
+            assert [e[0] for e in host.delivered] == [1, 2, 3]
+        # The equivocated receiver never delivers the forged messages.
+        assert all(e[0] == "drop" or False for e in rig.receivers[0].delivered) or (
+            rig.receivers[0].delivered == []
+        )
+
+    def test_total_equivocation_stalls_group(self):
+        rig = AomRig(fault_model=NetworkFaultModel.BYZANTINE)
+        split = {
+            host.address: bytes([i]) * 32 for i, host in enumerate(rig.receivers[:2])
+        }
+        equivocate_sequencer(rig.sequencer, split)
+        rig.multicast("poison")
+        rig.sim.run(until=ms(50))
+        # With two receivers fed conflicting digests, no 3-confirm quorum
+        # can form for the false copies; the two honest copies agree but
+        # only reach 2 confirms: nothing may be delivered.
+        for host in rig.receivers:
+            assert host.delivered == []
+
+    def test_equivocation_in_crash_mode_splits_receivers(self):
+        # Control experiment: the hybrid model TRUSTS the network, so an
+        # equivocating sequencer does violate ordering — exactly why the
+        # paper's BN mode exists.
+        rig = AomRig(fault_model=NetworkFaultModel.CRASH)
+        equivocate_sequencer(rig.sequencer, {rig.receivers[0].address: b"\x66" * 32})
+        rig.multicast("poison")
+        rig.sim.run()
+        poisoned = rig.receivers[0].certs[0].digest
+        honest = rig.receivers[1].certs[0].digest
+        assert poisoned != honest
+
+    def test_stuck_callback_fires_on_starvation(self):
+        fired = []
+        rig = AomRig(
+            fault_model=NetworkFaultModel.BYZANTINE,
+            lib_kwargs={"stuck_timeout_ns": ms(1)},
+        )
+        for host in rig.receivers:
+            host.lib.on_stuck = lambda epoch, seq, h=host: fired.append((h.name, epoch, seq))
+        split = {
+            host.address: bytes([i]) * 32 for i, host in enumerate(rig.receivers[:2])
+        }
+        equivocate_sequencer(rig.sequencer, split)
+        rig.multicast("poison")
+        rig.sim.run(until=ms(20))
+        assert fired, "no receiver reported the stalled head"

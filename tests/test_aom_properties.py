@@ -1,0 +1,106 @@
+"""Property-based tests of the aom guarantees (§3.2) under adversarial
+drop schedules chosen by hypothesis."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aom.messages import AuthVariant
+from repro.net.packet import Packet
+
+from tests.aom_harness import AomRig
+
+MESSAGES = 14
+
+
+def apply_drop_schedule(rig, schedule):
+    """Drop exactly the (receiver_index, sequence) legs in ``schedule``."""
+    pending = set(schedule)
+
+    def predicate(packet: Packet) -> bool:
+        message = packet.message
+        sequence = getattr(message, "sequence", None)
+        if sequence is None:
+            return False
+        for index, host in enumerate(rig.receivers):
+            if host.address == packet.dst and (index, sequence) in pending:
+                return True
+        return False
+
+    rig.fabric.add_drop_filter(predicate)
+
+
+def delivered_payload_sequence(host):
+    """(seq -> payload) for delivered messages; drops excluded."""
+    return {
+        event[0]: event[1] for event in host.delivered if event[0] != "drop"
+    }
+
+
+drop_schedules = st.sets(
+    st.tuples(st.integers(0, 3), st.integers(1, MESSAGES)), max_size=12
+)
+
+
+class TestOrderingProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(schedule=drop_schedules)
+    def test_ordering_holds_under_any_leg_drops(self, schedule):
+        """Any two receivers deliver common messages in the same order,
+        and never different payloads for one sequence number."""
+        rig = AomRig(seed=3)
+        apply_drop_schedule(rig, schedule)
+        rig.multicast_many(MESSAGES)
+        rig.sim.run()
+        maps = [delivered_payload_sequence(host) for host in rig.receivers]
+        for a in maps:
+            for b in maps:
+                common = set(a) & set(b)
+                for sequence in common:
+                    assert a[sequence] == b[sequence]
+
+    @settings(max_examples=15, deadline=None)
+    @given(schedule=drop_schedules)
+    def test_drop_detection_property(self, schedule):
+        """Each receiver's event stream covers a prefix of the sequence
+        space with no holes: every sequence up to its horizon appears as a
+        delivery or a drop-notification, in order."""
+        rig = AomRig(seed=4)
+        apply_drop_schedule(rig, schedule)
+        rig.multicast_many(MESSAGES)
+        rig.sim.run()
+        for host in rig.receivers:
+            seqs = [e[1] if e[0] == "drop" else e[0] for e in host.delivered]
+            assert seqs == list(range(1, len(seqs) + 1))
+
+    @settings(max_examples=10, deadline=None)
+    @given(schedule=drop_schedules, data=st.data())
+    def test_transferable_authentication_under_drops(self, schedule, data):
+        """Any certificate a receiver delivered verifies at every other
+        receiver, whatever the loss pattern."""
+        rig = AomRig(seed=5)
+        apply_drop_schedule(rig, schedule)
+        rig.multicast_many(MESSAGES)
+        rig.sim.run()
+        for host in rig.receivers:
+            for cert in host.certs[:3]:  # bound the work per example
+                for other in rig.receivers:
+                    if other is not host:
+                        assert other.lib.verify_certificate(cert)
+
+
+class TestPkOrderingProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(schedule=drop_schedules)
+    def test_pk_chain_never_misorders(self, schedule):
+        rig = AomRig(variant=AuthVariant.PUBKEY, seed=6)
+        apply_drop_schedule(rig, schedule)
+        rig.multicast_many(MESSAGES)
+        rig.sim.run()
+        for host in rig.receivers:
+            seqs = [e[1] if e[0] == "drop" else e[0] for e in host.delivered]
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == len(seqs)
+        maps = [delivered_payload_sequence(host) for host in rig.receivers]
+        for a in maps:
+            for b in maps:
+                for sequence in set(a) & set(b):
+                    assert a[sequence] == b[sequence]

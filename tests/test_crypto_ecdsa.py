@@ -1,0 +1,181 @@
+"""secp256k1 ECDSA tests: curve math, signing, verification, ECDH."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ecdsa import (
+    GX,
+    GY,
+    N,
+    P,
+    GeneratorTable,
+    PrivateKey,
+    PublicKey,
+    ecdh_shared_secret,
+    generator_table,
+    is_on_curve,
+    point_add,
+    point_neg,
+    scalar_mult,
+)
+
+G = (GX, GY)
+
+
+class TestCurveMath:
+    def test_generator_on_curve(self):
+        assert is_on_curve(G)
+
+    def test_infinity_on_curve(self):
+        assert is_on_curve(None)
+
+    def test_off_curve_point_detected(self):
+        assert not is_on_curve((GX, GY + 1))
+
+    def test_point_addition_closure(self):
+        two_g = point_add(G, G)
+        three_g = point_add(two_g, G)
+        assert is_on_curve(two_g)
+        assert is_on_curve(three_g)
+
+    def test_addition_commutes(self):
+        two_g = point_add(G, G)
+        assert point_add(G, two_g) == point_add(two_g, G)
+
+    def test_identity_element(self):
+        assert point_add(G, None) == G
+        assert point_add(None, G) == G
+
+    def test_inverse_gives_infinity(self):
+        assert point_add(G, point_neg(G)) is None
+
+    def test_scalar_mult_matches_repeated_addition(self):
+        acc = None
+        for k in range(1, 8):
+            acc = point_add(acc, G)
+            assert scalar_mult(k, G) == acc
+
+    def test_group_order(self):
+        assert scalar_mult(N, G) is None
+        assert scalar_mult(N + 1, G) == G
+
+    @given(st.integers(min_value=1, max_value=2**64))
+    @settings(max_examples=20, deadline=None)
+    def test_scalar_mult_distributes(self, k):
+        assert scalar_mult(k + 1, G) == point_add(scalar_mult(k, G), G)
+
+
+class TestGeneratorTable:
+    def test_table_matches_naive_mult(self):
+        table = generator_table()
+        for k in (1, 2, 3, 255, 256, 12345, N - 1):
+            assert table.mult(k) == scalar_mult(k, G)
+
+    def test_zero_scalar(self):
+        assert generator_table().mult(0) is None
+
+    def test_window_size_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorTable(window_bits=0)
+
+    def test_entry_count(self):
+        table = GeneratorTable(window_bits=4)
+        assert table.windows == 64
+        assert table.entries == 64 * 15
+
+    @given(st.integers(min_value=1, max_value=N - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_table_agrees_with_double_and_add(self, k):
+        assert generator_table().mult(k) == scalar_mult(k, G)
+
+
+class TestEcdsa:
+    DIGEST = b"\x42" * 32
+
+    def test_private_key_range_enforced(self):
+        with pytest.raises(ValueError):
+            PrivateKey(0)
+        with pytest.raises(ValueError):
+            PrivateKey(N)
+
+    def test_key_one_gives_generator(self):
+        assert PrivateKey(1).public_key().point == G
+
+    def test_sign_verify_roundtrip(self):
+        key = PrivateKey.from_seed(b"alice")
+        signature = key.sign(self.DIGEST)
+        assert key.public_key().verify(self.DIGEST, signature)
+
+    def test_wrong_digest_rejected(self):
+        key = PrivateKey.from_seed(b"alice")
+        signature = key.sign(self.DIGEST)
+        assert not key.public_key().verify(b"\x43" * 32, signature)
+
+    def test_wrong_key_rejected(self):
+        alice = PrivateKey.from_seed(b"alice")
+        bob = PrivateKey.from_seed(b"bob")
+        signature = alice.sign(self.DIGEST)
+        assert not bob.public_key().verify(self.DIGEST, signature)
+
+    def test_signing_is_deterministic(self):
+        key = PrivateKey.from_seed(b"alice")
+        assert key.sign(self.DIGEST) == key.sign(self.DIGEST)
+
+    def test_low_s_normalization(self):
+        key = PrivateKey.from_seed(b"alice")
+        for i in range(8):
+            _, s = key.sign(bytes([i]) * 32)
+            assert s <= N // 2
+
+    def test_high_s_malleated_signature_rejected_form(self):
+        key = PrivateKey.from_seed(b"alice")
+        r, s = key.sign(self.DIGEST)
+        # The malleated twin (r, N-s) still verifies mathematically; the
+        # low-s rule means honest signers never emit it.
+        assert key.public_key().verify(self.DIGEST, (r, N - s))
+        assert N - s > N // 2
+
+    def test_out_of_range_signature_rejected(self):
+        key = PrivateKey.from_seed(b"alice")
+        pub = key.public_key()
+        assert not pub.verify(self.DIGEST, (0, 1))
+        assert not pub.verify(self.DIGEST, (1, 0))
+        assert not pub.verify(self.DIGEST, (N, 1))
+
+    def test_digest_length_enforced(self):
+        key = PrivateKey.from_seed(b"alice")
+        with pytest.raises(ValueError):
+            key.sign(b"short")
+        assert not key.public_key().verify(b"short", (1, 1))
+
+    def test_public_key_encoding(self):
+        encoded = PrivateKey.from_seed(b"alice").public_key().encode()
+        assert len(encoded) == 33
+        assert encoded[0] in (2, 3)
+
+    def test_invalid_public_key_rejected(self):
+        with pytest.raises(ValueError):
+            PublicKey((GX, GY + 1))
+
+    @given(st.binary(min_size=32, max_size=32))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_random_digests(self, digest):
+        key = PrivateKey.from_seed(b"prop")
+        assert key.public_key().verify(digest, key.sign(digest))
+
+
+class TestEcdh:
+    def test_shared_secret_agrees(self):
+        alice = PrivateKey.from_seed(b"alice")
+        bob = PrivateKey.from_seed(b"bob")
+        assert ecdh_shared_secret(alice, bob.public_key()) == ecdh_shared_secret(
+            bob, alice.public_key()
+        )
+
+    def test_different_pairs_differ(self):
+        alice = PrivateKey.from_seed(b"alice")
+        bob = PrivateKey.from_seed(b"bob")
+        carol = PrivateKey.from_seed(b"carol")
+        assert ecdh_shared_secret(alice, bob.public_key()) != ecdh_shared_secret(
+            alice, carol.public_key()
+        )

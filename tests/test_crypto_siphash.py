@@ -1,0 +1,121 @@
+"""SipHash / HalfSipHash tests, including the official reference vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.siphash import (
+    HalfSipHashState,
+    halfsiphash24,
+    halfsiphash_rounds_for,
+    halfsiphash_vector,
+    siphash24,
+)
+
+REFERENCE_KEY = bytes(range(16))
+
+# First entries of the official SipHash-2-4 test-vector table
+# (vectors_sip64 in the reference implementation: input = bytes 0..i-1).
+SIPHASH24_VECTORS = [
+    "310e0edd47db6f72",
+    "fd67dc93c539f874",
+    "5a4fa9d909806c0d",
+    "2d7efbd796666785",
+    "b7877127e09427cf",
+    "8da699cd64557618",
+]
+
+
+class TestSipHash24:
+    @pytest.mark.parametrize("length,expected", list(enumerate(SIPHASH24_VECTORS)))
+    def test_reference_vectors(self, length, expected):
+        data = bytes(range(length))
+        assert siphash24(REFERENCE_KEY, data).hex() == expected
+
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            siphash24(b"short", b"data")
+
+    def test_output_is_8_bytes(self):
+        assert len(siphash24(REFERENCE_KEY, b"hello")) == 8
+
+    def test_different_keys_differ(self):
+        other = bytes(range(1, 17))
+        assert siphash24(REFERENCE_KEY, b"x") != siphash24(other, b"x")
+
+    def test_long_input(self):
+        data = bytes(range(256)) * 10
+        tag1 = siphash24(REFERENCE_KEY, data)
+        tag2 = siphash24(REFERENCE_KEY, data)
+        assert tag1 == tag2
+        assert tag1 != siphash24(REFERENCE_KEY, data[:-1])
+
+    @given(st.binary(max_size=64))
+    def test_deterministic(self, data):
+        assert siphash24(REFERENCE_KEY, data) == siphash24(REFERENCE_KEY, data)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=0, max_value=63))
+    def test_bit_flip_changes_tag(self, data, bit):
+        bit %= len(data) * 8
+        flipped = bytearray(data)
+        flipped[bit // 8] ^= 1 << (bit % 8)
+        assert siphash24(REFERENCE_KEY, data) != siphash24(REFERENCE_KEY, bytes(flipped))
+
+
+class TestHalfSipHash:
+    KEY = bytes(range(8))
+
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            halfsiphash24(b"abc", b"data")
+
+    def test_output_is_4_bytes(self):
+        assert len(halfsiphash24(self.KEY, b"payload")) == 4
+
+    def test_incremental_matches_oneshot(self):
+        data = bytes(range(37))
+        state = HalfSipHashState(self.KEY)
+        state.absorb(data[:10])
+        state.absorb(data[10:25])
+        state.absorb(data[25:])
+        assert state.finalize() == halfsiphash24(self.KEY, data)
+
+    def test_finalize_twice_rejected(self):
+        state = HalfSipHashState(self.KEY)
+        state.finalize()
+        with pytest.raises(RuntimeError):
+            state.finalize()
+
+    def test_absorb_after_finalize_rejected(self):
+        state = HalfSipHashState(self.KEY)
+        state.finalize()
+        with pytest.raises(RuntimeError):
+            state.absorb(b"late")
+
+    def test_rounds_counted(self):
+        state = HalfSipHashState(self.KEY)
+        state.absorb(bytes(8))  # two words -> 4 compression rounds
+        state.finalize()  # one padding word (2) + 4 finalization
+        assert state.rounds_executed == 2 * 2 + 2 + 4
+
+    def test_rounds_for_matches_execution(self):
+        for length in (0, 3, 4, 11, 40):
+            state = HalfSipHashState(self.KEY)
+            state.absorb(bytes(length))
+            state.finalize()
+            assert state.rounds_executed == halfsiphash_rounds_for(length)
+
+    def test_vector_one_tag_per_key(self):
+        keys = [bytes([i]) * 8 for i in range(5)]
+        tags = halfsiphash_vector(keys, b"message")
+        assert len(tags) == 5
+        assert len(set(tags)) == 5  # distinct keys -> distinct tags
+
+    @given(st.binary(max_size=48), st.binary(min_size=8, max_size=8))
+    def test_key_sensitivity(self, data, key):
+        if key == self.KEY:
+            return
+        assert halfsiphash24(self.KEY, data) == halfsiphash24(self.KEY, data)
+
+    @given(st.binary(min_size=1, max_size=48))
+    def test_avalanche_on_truncation(self, data):
+        assert halfsiphash24(self.KEY, data) != halfsiphash24(self.KEY, data + b"\x01")

@@ -1,0 +1,52 @@
+"""Tests for the switch-side micro-benchmark harness (Figures 4-6 driver)."""
+
+import pytest
+
+from repro.aom.messages import AuthVariant
+from repro.runtime.microbench import (
+    MicrobenchResult,
+    run_offered_load,
+    saturation_throughput,
+)
+
+
+class TestOfferedLoad:
+    def test_low_load_latency_equals_pipeline_latency(self):
+        result = run_offered_load(
+            AuthVariant.HMAC, 4, offered_pps=1e6, packets=300
+        )
+        # 12 passes x 750ns + one service quantum ~= 9 us.
+        assert 8.5 < result.median_us() < 9.5
+        assert result.switch_drops == 0
+
+    def test_delivered_tracks_offered_below_saturation(self):
+        result = run_offered_load(
+            AuthVariant.HMAC, 4, offered_pps=10e6, packets=2_000
+        )
+        assert result.delivered_pps == pytest.approx(10e6, rel=0.1)
+
+    def test_overdrive_saturates_at_engine_rate(self):
+        rate = saturation_throughput(AuthVariant.HMAC, 4, packets=2_000)
+        assert rate == pytest.approx(77e6, rel=0.05)
+
+    def test_pk_constant_across_group_sizes(self):
+        small = saturation_throughput(AuthVariant.PUBKEY, 4, packets=1_500)
+        large = saturation_throughput(AuthVariant.PUBKEY, 64, packets=1_500)
+        assert small == pytest.approx(large, rel=0.02)
+
+    def test_hm_scales_inverse_with_subgroups(self):
+        four = saturation_throughput(AuthVariant.HMAC, 4, packets=1_500)
+        thirtytwo = saturation_throughput(AuthVariant.HMAC, 32, packets=1_500)
+        assert four / thirtytwo == pytest.approx(8.0, rel=0.1)
+
+    def test_queueing_tail_appears_near_saturation(self):
+        low = run_offered_load(AuthVariant.HMAC, 4, offered_pps=0.25 * 77e6, packets=3_000)
+        high = run_offered_load(AuthVariant.HMAC, 4, offered_pps=0.99 * 77e6, packets=3_000)
+        assert high.latency.percentile(99.9) >= low.latency.percentile(99.9)
+
+    def test_result_shape(self):
+        result = run_offered_load(AuthVariant.PUBKEY, 4, offered_pps=1e5, packets=200)
+        assert isinstance(result, MicrobenchResult)
+        assert result.variant == "pk"
+        assert result.group_size == 4
+        assert len(result.latency) > 0

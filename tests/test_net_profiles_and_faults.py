@@ -1,0 +1,111 @@
+"""Profiles, fault helpers, and endpoint counters."""
+
+import pytest
+
+from repro.faults.behaviors import delay_everything, make_silent
+from repro.faults.network import drop_fraction_for, isolate_host
+from repro.net import Endpoint, Fabric, LinkProfile, NetworkProfile
+from repro.net.profiles import DEFAULT_PROFILE, LOSSY_PROFILE, WAN_PROFILE
+from repro.sim import Simulator
+from repro.sim.clock import us
+
+
+class Echo(Endpoint):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.seen = []
+
+    def on_message(self, src, message):
+        self.seen.append(message)
+
+
+def pair():
+    sim = Simulator(seed=2)
+    fabric = Fabric(sim)
+    a, b = Echo(sim, "a"), Echo(sim, "b")
+    a.attach(fabric)
+    b.attach(fabric)
+    return sim, fabric, a, b
+
+
+class TestProfiles:
+    def test_serialization_scales_with_size(self):
+        link = LinkProfile(bandwidth_gbps=100.0)
+        assert link.serialization_ns(1250) == 100  # 10 KBit at 100 Gbps
+        assert link.serialization_ns(125) == 10
+
+    def test_wan_profile_slower_than_rack(self):
+        assert WAN_PROFILE.one_way_ns(100) > 50 * DEFAULT_PROFILE.one_way_ns(100)
+
+    def test_lossy_profile_has_drop_rate(self):
+        assert LOSSY_PROFILE.drop_rate == 0.001
+
+    def test_with_drop_rate_is_pure(self):
+        base = NetworkProfile()
+        lossy = base.with_drop_rate(0.1)
+        assert base.drop_rate == 0.0
+        assert lossy.drop_rate == 0.1
+
+
+class TestFaultHelpers:
+    def test_silent_restore(self):
+        sim, fabric, a, b = pair()
+        restore = make_silent(b)
+        a.execute_now(a.send, b.address, "muted")
+        sim.run()
+        assert b.seen == []
+        restore()
+        a.execute_now(a.send, b.address, "heard")
+        sim.run()
+        assert b.seen == ["heard"]
+
+    def test_drop_fraction_validation(self):
+        sim, fabric, a, b = pair()
+        rng = sim.streams.get("x")
+        with pytest.raises(ValueError):
+            drop_fraction_for(fabric, b.address, 1.5, rng)
+
+    def test_drop_fraction_applies_and_removes(self):
+        sim, fabric, a, b = pair()
+        rng = sim.streams.get("x")
+        remove = drop_fraction_for(fabric, b.address, 1.0, rng)
+
+        def burst():
+            for i in range(10):
+                a.send(b.address, i)
+
+        a.execute_now(burst)
+        sim.run()
+        assert b.seen == []
+        remove()
+        a.execute_now(a.send, b.address, "ok")
+        sim.run()
+        assert b.seen == ["ok"]
+
+    def test_isolate_and_heal(self):
+        sim, fabric, a, b = pair()
+        heal = isolate_host(fabric, a.address, [b.address])
+        a.execute_now(a.send, b.address, "blocked")
+        b.execute_now(b.send, a.address, "blocked-too")
+        sim.run()
+        assert b.seen == [] and a.seen == []
+        heal()
+        a.execute_now(a.send, b.address, "open")
+        sim.run()
+        assert b.seen == ["open"]
+
+    def test_delay_everything_charges(self):
+        sim, fabric, a, b = pair()
+        delay_everything(b, us(100))
+        a.execute_now(a.send, b.address, "slow")
+        sim.run()
+        assert b.cpu.busy_ns >= us(100)
+
+
+class TestEndpointCounters:
+    def test_send_and_receive_counted(self):
+        sim, fabric, a, b = pair()
+        a.execute_now(a.send_all, [b.address, b.address], "x")
+        sim.run()
+        assert a.messages_sent == 2
+        assert b.messages_received == 2

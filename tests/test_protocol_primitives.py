@@ -1,0 +1,281 @@
+"""Unit tests for protocol building blocks: log, quorums, batching,
+client message authentication."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.digests import sha256_digest
+from repro.crypto.hmacvec import PairwiseKeys
+from repro.crypto.siphash import halfsiphash24
+from repro.protocols.batching import Batcher, TimedBatcher
+from repro.protocols.log import EntryKind, LogEntry, NOOP_DIGEST, ReplicaLog
+from repro.protocols.messages import (
+    ClientReply,
+    ClientRequest,
+    authenticate_request,
+    verify_request,
+)
+from repro.protocols.quorum import QuorumSet, QuorumTracker
+
+
+def request_entry(tag: bytes) -> LogEntry:
+    return LogEntry(kind=EntryKind.REQUEST, digest=sha256_digest(tag), request=tag)
+
+
+class TestReplicaLog:
+    def test_append_and_hash_chain(self):
+        log = ReplicaLog()
+        h0 = log.head_hash()
+        log.append(request_entry(b"a"))
+        assert log.head_hash() != h0
+        assert log.hash_up_to(0) == log.head_hash()
+
+    def test_hash_prefix_stability(self):
+        log = ReplicaLog()
+        log.append(request_entry(b"a"))
+        head_after_a = log.head_hash()
+        log.append(request_entry(b"b"))
+        assert log.hash_up_to(0) == head_after_a
+
+    def test_execution_cursor(self):
+        log = ReplicaLog()
+        log.append(request_entry(b"a"))
+        log.append(request_entry(b"b"))
+        assert log.next_unexecuted() == 0
+        log.mark_executed(0, b"ra", None)
+        assert log.next_unexecuted() == 1
+        log.mark_executed(1, b"rb", None)
+        assert log.next_unexecuted() is None
+
+    def test_out_of_order_execution_rejected(self):
+        log = ReplicaLog()
+        log.append(request_entry(b"a"))
+        log.append(request_entry(b"b"))
+        with pytest.raises(ValueError):
+            log.mark_executed(1, b"r", None)
+
+    def test_rollback_runs_undos_in_reverse(self):
+        log = ReplicaLog()
+        order = []
+        for tag in (b"a", b"b", b"c"):
+            slot = log.append(request_entry(tag))
+            log.mark_executed(slot, tag, lambda t=tag: order.append(t))
+        log.rollback_to(1)
+        assert order == [b"c", b"b"]
+        assert log.exec_cursor == 1
+
+    def test_overwrite_with_noop_rebuilds_chain(self):
+        log = ReplicaLog()
+        for tag in (b"a", b"b", b"c"):
+            slot = log.append(request_entry(tag))
+            log.mark_executed(slot, tag, None)
+        old_head = log.head_hash()
+        log.overwrite_with_noop(1, evidence="cert", view=3)
+        assert log.head_hash() != old_head
+        entry = log.get(1)
+        assert entry.kind == EntryKind.NOOP
+        assert entry.digest == NOOP_DIGEST
+        assert entry.committed
+        # Chain equals a freshly built log with the same contents.
+        rebuilt = ReplicaLog()
+        rebuilt.append(request_entry(b"a"))
+        rebuilt.append(LogEntry(kind=EntryKind.NOOP, digest=NOOP_DIGEST))
+        rebuilt.append(request_entry(b"c"))
+        assert log.head_hash() == rebuilt.head_hash()
+
+    def test_overwrite_returns_suffix_for_reexecution(self):
+        log = ReplicaLog()
+        undone = []
+        for tag in (b"a", b"b", b"c"):
+            slot = log.append(request_entry(tag))
+            log.mark_executed(slot, tag, lambda t=tag: undone.append(t))
+        suffix = log.overwrite_with_noop(1, evidence=None, view=1)
+        assert undone == [b"c", b"b"]
+        assert len(suffix) == 2
+        assert log.next_unexecuted() == 1
+
+    def test_overwrite_out_of_range(self):
+        with pytest.raises(IndexError):
+            ReplicaLog().overwrite_with_noop(0, None, 0)
+
+    def test_commit_cursor_monotone(self):
+        log = ReplicaLog()
+        for tag in (b"a", b"b", b"c"):
+            log.append(request_entry(tag))
+        log.mark_committed_up_to(1)
+        assert log.commit_cursor == 2
+        log.mark_committed_up_to(0)
+        assert log.commit_cursor == 2  # never regresses
+        assert log.get(0).committed and log.get(1).committed
+
+
+class TestQuorumTracker:
+    def test_threshold_reached_once(self):
+        tracker = QuorumTracker(3)
+        assert tracker.add(1, "k", "m1") is None
+        assert tracker.add(2, "k", "m2") is None
+        quorum = tracker.add(3, "k", "m3")
+        assert sorted(quorum) == ["m1", "m2", "m3"]
+        assert tracker.add(4, "k", "m4") is None  # fires only once
+        assert tracker.complete
+
+    def test_duplicate_sender_ignored(self):
+        tracker = QuorumTracker(2)
+        tracker.add(1, "k", "m")
+        assert tracker.add(1, "k", "m-again") is None
+        assert tracker.count("k") == 1
+
+    def test_conflicting_keys_tracked_separately(self):
+        tracker = QuorumTracker(2)
+        tracker.add(1, "a", "x")
+        tracker.add(2, "b", "y")
+        assert not tracker.complete
+        assert tracker.best()[1] == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            QuorumTracker(0)
+
+    def test_quorum_set_keying(self):
+        quorums = QuorumSet(2)
+        assert quorums.add("slot-1", 1, "k", "m") is None
+        assert quorums.add("slot-2", 1, "k", "m") is None  # distinct slot
+        assert quorums.add("slot-1", 2, "k", "m2") is not None
+        quorums.discard("slot-1")
+        assert "slot-1" not in quorums
+        assert "slot-2" in quorums
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 2)), max_size=60))
+    def test_quorum_requires_distinct_senders(self, votes):
+        tracker = QuorumTracker(4)
+        fired = []
+        for sender, key in votes:
+            result = tracker.add(sender, key, (sender, key))
+            if result is not None:
+                fired.append(result)
+        assert len(fired) <= 1
+        for quorum in fired:
+            senders = [s for s, _ in quorum]
+            assert len(set(senders)) == len(senders) >= 4
+
+
+class TestBatcher:
+    def test_flushes_immediately_when_idle(self):
+        flushed = []
+        batcher = Batcher(flushed.append, max_batch=10, max_outstanding=1)
+        batcher.add("a")
+        assert flushed == [["a"]]
+
+    def test_accumulates_while_outstanding(self):
+        flushed = []
+        batcher = Batcher(flushed.append, max_batch=10, max_outstanding=1)
+        batcher.add("a")
+        batcher.add("b")
+        batcher.add("c")
+        assert flushed == [["a"]]
+        batcher.batch_done()
+        assert flushed == [["a"], ["b", "c"]]
+
+    def test_max_batch_respected(self):
+        flushed = []
+        batcher = Batcher(flushed.append, max_batch=2, max_outstanding=1)
+        batcher.add("a")
+        for tag in "bcde":
+            batcher.add(tag)
+        batcher.batch_done()
+        assert flushed[1] == ["b", "c"]
+
+    def test_batch_done_without_outstanding(self):
+        batcher = Batcher(lambda b: None)
+        with pytest.raises(RuntimeError):
+            batcher.batch_done()
+
+    def test_mean_batch_size(self):
+        flushed = []
+        batcher = Batcher(flushed.append, max_batch=10, max_outstanding=1)
+        batcher.add("a")
+        batcher.add("b")
+        batcher.add("c")
+        batcher.batch_done()
+        assert batcher.mean_batch_size() == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Batcher(lambda b: None, max_batch=0)
+        with pytest.raises(ValueError):
+            Batcher(lambda b: None, max_outstanding=0)
+
+
+class TestTimedBatcher:
+    def make_host(self):
+        from repro.sim import Simulator
+        from repro.sim.actors import Actor
+
+        sim = Simulator()
+        return sim, Actor(sim, "host")
+
+    def test_flushes_on_count(self):
+        sim, host = self.make_host()
+        flushed = []
+        batcher = TimedBatcher(host, flushed.append, max_batch=3, flush_after_ns=10**6)
+        for tag in "abc":
+            batcher.add(tag)
+        assert flushed == [["a", "b", "c"]]
+
+    def test_flushes_on_deadline(self):
+        sim, host = self.make_host()
+        flushed = []
+        batcher = TimedBatcher(host, flushed.append, max_batch=100, flush_after_ns=5_000)
+        host.execute_now(lambda: batcher.add("solo"))
+        sim.run()
+        assert flushed == [["solo"]]
+        assert sim.now >= 5_000
+
+    def test_flush_now_cancels_timer(self):
+        sim, host = self.make_host()
+        flushed = []
+        batcher = TimedBatcher(host, flushed.append, max_batch=100, flush_after_ns=5_000)
+        host.execute_now(lambda: batcher.add("x"))
+        batcher.flush_now()
+        sim.run()
+        assert flushed == [["x"]]
+
+
+class TestClientMessageAuth:
+    def setup_method(self):
+        self.pairwise = PairwiseKeys(b"test")
+        self.mac = lambda key, data: halfsiphash24(key[:8].ljust(8, b"\0"), data)
+
+    def verify_fn(self, key, data, tag):
+        return self.mac(key, data) == tag
+
+    def test_request_roundtrip(self):
+        request = ClientRequest(100, 1, b"op")
+        authed = authenticate_request(self.pairwise, 100, [0, 1, 2, 3], request, self.mac)
+        for replica in range(4):
+            assert verify_request(self.pairwise, replica, authed, self.verify_fn)
+
+    def test_tampered_op_rejected(self):
+        request = ClientRequest(100, 1, b"op")
+        authed = authenticate_request(self.pairwise, 100, [0, 1], request, self.mac)
+        tampered = ClientRequest(100, 1, b"oq", authed.auth)
+        assert not verify_request(self.pairwise, 0, tampered, self.verify_fn)
+
+    def test_unauthenticated_rejected(self):
+        request = ClientRequest(100, 1, b"op")
+        assert not verify_request(self.pairwise, 0, request, self.verify_fn)
+
+    def test_uncovered_replica_rejected(self):
+        request = ClientRequest(100, 1, b"op")
+        authed = authenticate_request(self.pairwise, 100, [0, 1], request, self.mac)
+        assert not verify_request(self.pairwise, 3, authed, self.verify_fn)
+
+    def test_reply_match_key_fields(self):
+        a = ClientReply(view=1, replica=0, request_id=5, result=b"r", slot=9, log_hash=b"h")
+        b = ClientReply(view=1, replica=3, request_id=5, result=b"r", slot=9, log_hash=b"h")
+        c = ClientReply(view=1, replica=3, request_id=5, result=b"r", slot=9, log_hash=b"X")
+        assert a.match_key() == b.match_key()
+        assert a.match_key() != c.match_key()
+
+    def test_request_key_identity(self):
+        assert ClientRequest(1, 2, b"x").key() == (1, 2)

@@ -1,0 +1,70 @@
+"""Tracer tests."""
+
+from repro.runtime import ClusterOptions, Measurement, build_cluster
+from repro.runtime.tracing import Tracer, trace_endpoint
+from repro.sim import Simulator
+from repro.sim.clock import ms
+
+
+class TestTracerCore:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(Simulator())
+        tracer.record("n", "kind", "detail")
+        assert tracer.events == []
+
+    def test_enabled_records(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.enable()
+        tracer.record("n", "send", "x")
+        assert tracer.count() == 1
+        assert tracer.events[0].time == sim.now
+
+    def test_capacity_bound(self):
+        tracer = Tracer(Simulator(), capacity=3)
+        tracer.enable()
+        for i in range(5):
+            tracer.record("n", "k", str(i))
+        assert len(tracer.events) == 3
+        assert tracer.dropped == 2
+
+    def test_filters(self):
+        tracer = Tracer(Simulator())
+        tracer.enable()
+        tracer.record("a", "send", "1")
+        tracer.record("b", "recv", "2")
+        tracer.record("a", "recv", "3")
+        assert tracer.count(node="a") == 2
+        assert tracer.count(kind="recv") == 2
+        assert tracer.count(node="a", kind="recv") == 1
+
+    def test_histogram(self):
+        tracer = Tracer(Simulator())
+        tracer.enable()
+        for kind in ("send", "send", "recv"):
+            tracer.record("n", kind, "")
+        assert tracer.histogram_by_kind() == {"send": 2, "recv": 1}
+
+    def test_dump_renders(self):
+        tracer = Tracer(Simulator())
+        tracer.enable()
+        tracer.record("replica-0", "send", "-> 1 Query")
+        output = tracer.dump()
+        assert "replica-0" in output
+        assert "Query" in output
+
+
+class TestEndpointInstrumentation:
+    def test_traces_cluster_traffic(self):
+        cluster = build_cluster(ClusterOptions(protocol="neobft-hm", num_clients=1, seed=2))
+        tracer = Tracer(cluster.sim)
+        tracer.enable()
+        restores = [trace_endpoint(tracer, r) for r in cluster.replicas]
+        Measurement(cluster, warmup_ns=0, duration_ns=ms(2)).run()
+        assert tracer.count(kind="recv") > 0
+        assert tracer.count(kind="send") > 0
+        # Replies outnumber everything else on the NeoBFT fast path.
+        kinds = tracer.histogram_by_kind()
+        assert kinds["send"] > 0
+        for restore in restores:
+            restore()

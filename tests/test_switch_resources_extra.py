@@ -1,0 +1,56 @@
+"""Extra structural tests: resource model edge cases and folded-pipeline
+architecture invariants."""
+
+import pytest
+
+from repro.switchfab.hmac_pipeline import (
+    FoldedHmacPipeline,
+    LOOPBACK_PORTS,
+    SUBGROUP_SIZE,
+    UNROLLED_PASSES,
+)
+from repro.switchfab.tofino import (
+    PipeProgram,
+    ResourceBudget,
+    ResourceExhausted,
+    TableSpec,
+    compile_pipe,
+)
+
+
+class TestArchitectureInvariants:
+    def test_design_constants_match_paper(self):
+        # §4.3: subgroups of 4, 16 loopback ports, 12 unrolled passes.
+        assert SUBGROUP_SIZE == 4
+        assert LOOPBACK_PORTS == 16
+        assert UNROLLED_PASSES == 12
+        assert SUBGROUP_SIZE * LOOPBACK_PORTS == 64
+
+    def test_subgroup_partition_covers_all_receivers(self):
+        for n in range(1, 65):
+            pipeline = FoldedHmacPipeline([(i, bytes([i % 251]) * 8) for i in range(n)])
+            covered = [rid for sg in pipeline.subgroups for rid, _ in sg]
+            assert covered == list(range(n))
+            assert all(len(sg) <= SUBGROUP_SIZE for sg in pipeline.subgroups)
+
+    def test_partial_vectors_carry_subgroup_metadata(self):
+        pipeline = FoldedHmacPipeline([(i, bytes([i + 1]) * 8) for i in range(9)])
+        _, partials = pipeline.authenticate(0, b"x")
+        assert [p.subgroup_index for p in partials] == [0, 1, 2]
+        assert all(p.total_subgroups == 3 for p in partials)
+
+    def test_naive_unfolded_design_would_not_fit(self):
+        # The §4.3 motivation: four sequential (non-folded) HalfSipHash
+        # instances exceed a single pipe's stage budget.
+        program = PipeProgram("naive")
+        for i in range(4):
+            program.add(TableSpec(f"hsh_{i}", stages=6, hash_units=28))
+        with pytest.raises(ResourceExhausted):
+            compile_pipe(program)
+
+    def test_custom_budget(self):
+        tiny = ResourceBudget(stages=2, action_data_bits=100, hash_bits=10,
+                              hash_units=2, vliw_slots=8)
+        program = PipeProgram("small").add(TableSpec("t", stages=1, vliw_slots=4))
+        report = compile_pipe(program, budget=tiny)
+        assert report.vliw_pct == 50.0
