@@ -4,14 +4,18 @@ Paper result: throughput drops to zero immediately when the sequencer
 fails; the view change itself finishes in <200 us; the end-to-end outage
 is <100 ms, dominated by network-level reconfiguration rather than the
 protocol.
+
+The fault is driven through the campaign engine: a one-event
+:class:`~repro.faults.campaign.FaultCampaign` kills the sequencer at
+KILL_AT while an :class:`~repro.faults.invariants.InvariantMonitor`
+checks safety on every commit through the outage and recovery.
 """
 
 import pytest
 
-from repro.faults.sequencer import fail_sequencer
-from repro.runtime import ClusterOptions, Measurement, build_cluster
+from repro.faults import FaultCampaign, FaultEvent, FaultSpec, run_campaign
+from repro.runtime import ClusterOptions
 from repro.sim.clock import ms
-from repro.sim.monitor import TimeSeries
 
 from benchmarks.bench_common import fmt_row, report
 
@@ -21,32 +25,30 @@ TOTAL = ms(260)
 
 
 def run_timeline():
-    options = ClusterOptions(protocol="neobft-hm", num_clients=8, seed=7)
-    cluster = build_cluster(options)
-    sim = cluster.sim
-    measurement = Measurement(cluster, warmup_ns=ms(2), duration_ns=TOTAL)
-
-    buckets = {}
-    completion_times = []
-    for client in cluster.clients:
-        original = client.on_complete
-
-        def hook(request_id, latency, result, _orig=original):
-            buckets[sim.now // BUCKET] = buckets.get(sim.now // BUCKET, 0) + 1
-            completion_times.append(sim.now)
-            _orig(request_id, latency, result)
-
-        client.on_complete = hook
-
-    sim.schedule(KILL_AT, lambda: fail_sequencer(cluster.config_service.sequencer_for(1)))
-    measurement.run()
-
-    recovery_at = min((t for t in completion_times if t > KILL_AT + ms(1)), default=None)
-    return cluster, buckets, recovery_at
+    campaign = FaultCampaign(
+        [FaultEvent(KILL_AT, FaultSpec("fail_sequencer"), label="kill-sequencer")]
+    )
+    # Cap the backoff so retries keep probing every ~10 ms during the
+    # outage (a retry's unicast leg is what arms replica suspicion).
+    options = ClusterOptions(
+        protocol="neobft-hm",
+        num_clients=8,
+        seed=7,
+        client_kwargs=dict(retry_timeout_max_ns=ms(10)),
+    )
+    return run_campaign(
+        options, campaign, warmup_ns=ms(2), duration_ns=TOTAL, bucket_ns=BUCKET
+    )
 
 
 def test_failover_timeline(benchmark):
-    cluster, buckets, recovery_at = benchmark.pedantic(run_timeline, rounds=1, iterations=1)
+    run = benchmark.pedantic(run_timeline, rounds=1, iterations=1)
+    cluster = run.cluster
+    timeline = run.completions
+
+    recovery_at = timeline.first_completion_after(KILL_AT + ms(1))
+    outage_ms = (recovery_at - KILL_AT) / 1e6 if recovery_at else float("inf")
+
     widths = [12, 16]
     lines = [
         f"throughput timeline, sequencer killed at {KILL_AT/1e6:.0f} ms "
@@ -55,25 +57,35 @@ def test_failover_timeline(benchmark):
     ]
     last_bucket = int(TOTAL + ms(10)) // BUCKET
     for index in range(last_bucket):
-        lines.append(fmt_row([f"{index * BUCKET / 1e6:.0f}", buckets.get(index, 0)], widths))
-    outage_ms = (recovery_at - KILL_AT) / 1e6 if recovery_at else float("inf")
+        lines.append(
+            fmt_row([f"{index * BUCKET / 1e6:.0f}", timeline.ops_in_bucket(index)], widths)
+        )
     metrics = cluster.replicas[0].metrics
     lines.append("")
     lines.append(f"outage (kill -> first completion in new epoch): {outage_ms:.1f} ms")
     lines.append(f"view changes: {metrics.get('view_changes_started')}, "
                  f"epoch now: {cluster.config_service.current_epoch(1)}")
+    lines.append("")
+    lines.append("campaign timeline:")
+    lines.append(run.campaign.describe())
     report("failover_timeline", lines)
 
     kill_bucket = int(KILL_AT) // BUCKET
     # Throughput hits zero during the outage...
     assert any(
-        buckets.get(i, 0) == 0 for i in range(kill_bucket + 1, kill_bucket + 8)
+        timeline.ops_in_bucket(i) == 0 for i in range(kill_bucket + 1, kill_bucket + 8)
     )
     # ...and recovers to its pre-failure level afterwards.
-    pre = buckets.get(kill_bucket - 2, 0)
-    post_buckets = [buckets.get(i, 0) for i in range(last_bucket - 6, last_bucket - 1)]
+    pre = timeline.ops_in_bucket(kill_bucket - 2)
+    post_buckets = [
+        timeline.ops_in_bucket(i) for i in range(last_bucket - 6, last_bucket - 1)
+    ]
     assert max(post_buckets) > 0.7 * pre
     # End-to-end outage under 100 ms, exactly one failover, one view change.
     assert outage_ms < 100.0
     assert cluster.config_service.failovers_completed == 1
     assert cluster.config_service.current_epoch(1) == 2
+    # Safety held through the outage and the run produced no aborts.
+    assert run.monitor.checks > 0
+    assert run.monitor.violations == []
+    assert run.result.aborted == 0

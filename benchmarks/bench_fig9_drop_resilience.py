@@ -4,13 +4,17 @@ Paper result: throughput is largely unaffected by moderate loss —
 drop-notifications let replicas recover missing messages from each other
 (query/query-reply) without the full agreement protocol — with a visible
 drop only at 1% loss.
+
+Loss is injected through the campaign engine (a fabric-wide
+``drop_fraction`` fault armed at t=0 and never healed) rather than the
+static network profile, so the sweep exercises the same code path as the
+chaos suite and keeps an invariant monitor attached throughout.
 """
 
 import pytest
 
-from repro.net.profiles import NetworkProfile
+from repro.faults import FaultCampaign, FaultEvent, FaultSpec, run_campaign
 from repro.runtime import ClusterOptions
-from repro.runtime.harness import run_once
 from repro.sim.clock import ms
 
 from benchmarks.bench_common import fmt_row, report
@@ -23,17 +27,23 @@ def run_all():
     series = {"neobft-hm": [], "neobft-pk": []}
     for protocol in series:
         for rate in DROP_RATES:
-            result = run_once(
-                ClusterOptions(
-                    protocol=protocol,
-                    num_clients=CLIENTS,
-                    seed=7,
-                    profile=NetworkProfile(drop_rate=rate),
-                ),
+            events = []
+            if rate > 0.0:
+                events.append(
+                    FaultEvent(
+                        0,
+                        FaultSpec("drop_fraction", params={"fraction": rate}),
+                        label=f"drops-{rate}",
+                    )
+                )
+            run = run_campaign(
+                ClusterOptions(protocol=protocol, num_clients=CLIENTS, seed=7),
+                FaultCampaign(events),
                 warmup_ns=ms(2),
                 duration_ns=ms(14),
             )
-            series[protocol].append((rate, result))
+            assert run.monitor.violations == []
+            series[protocol].append((rate, run.result))
     return series
 
 

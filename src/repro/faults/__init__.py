@@ -1,23 +1,63 @@
 """Fault injection.
 
-Byzantine end-host behaviours, network loss/partition helpers, and
-sequencer faults (crash, equivocation) — the knobs behind §6.2's faulty
-replica runs, §6.4's drop-rate sweep and failover experiment, and the
-safety test suite's adversarial schedules.
+Byzantine end-host behaviours, network loss/partition/duplication/
+reordering helpers, and sequencer faults (crash, flapping, equivocation)
+— the knobs behind §6.2's faulty replica runs, §6.4's drop-rate sweep
+and failover experiment, and the safety test suite's adversarial
+schedules.
+
+Two ways to use them:
+
+- call a primitive directly (each returns an undo/heal function), or
+- compose them into a :class:`~repro.faults.campaign.FaultCampaign` of
+  timed inject/heal events executed on the virtual clock, with a
+  :class:`~repro.faults.invariants.InvariantMonitor` checking safety on
+  every commit while the faults are live (see ``docs/faults.md``).
 """
 
 from repro.faults.behaviors import (
     corrupt_replies,
+    crash_replica,
+    delay_everything,
     make_silent,
 )
-from repro.faults.network import drop_fraction_for, isolate_host
-from repro.faults.sequencer import equivocate_sequencer, fail_sequencer
+from repro.faults.campaign import (
+    CampaignRun,
+    CompletionTimeline,
+    FaultCampaign,
+    FaultEvent,
+    FaultSpec,
+    TimelineEntry,
+    run_campaign,
+)
+from repro.faults.invariants import InvariantMonitor, InvariantViolation
+from repro.faults.network import (
+    drop_fraction_for,
+    duplicate_fraction,
+    isolate_host,
+    reorder_fraction,
+)
+from repro.faults.sequencer import equivocate_sequencer, fail_sequencer, flap_sequencer
 
 __all__ = [
+    "CampaignRun",
+    "CompletionTimeline",
+    "FaultCampaign",
+    "FaultEvent",
+    "FaultSpec",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "TimelineEntry",
     "corrupt_replies",
+    "crash_replica",
+    "delay_everything",
     "drop_fraction_for",
+    "duplicate_fraction",
     "equivocate_sequencer",
     "fail_sequencer",
+    "flap_sequencer",
     "isolate_host",
     "make_silent",
+    "reorder_fraction",
+    "run_campaign",
 ]

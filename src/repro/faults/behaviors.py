@@ -62,6 +62,44 @@ def corrupt_replies(replica) -> Callable[[], None]:
     return restore
 
 
+def crash_replica(replica) -> Callable[[], None]:
+    """Fail-stop crash: the replica neither receives nor sends while down.
+
+    Unlike :func:`make_silent` (a Byzantine node that stays attached but
+    ignores traffic), a crashed node is fully dark: inbound messages are
+    dropped and nothing it produces — including timer-driven view-change
+    or suspicion traffic — leaves the host.
+
+    Returns a recover function. Recovery restores both paths and, when the
+    replica supports it (NeoBFT), replays state transfer from its peers so
+    the node catches up on the slots it slept through instead of grinding
+    them out one gap agreement at a time.
+    """
+    original_on_message = replica.on_message
+    original_send = replica.send
+
+    def dark_receive(src: int, message: object) -> None:
+        replica.metrics.add("crash_dropped")
+
+    def dark_send(dst, message) -> None:
+        replica.metrics.add("crash_suppressed")
+
+    replica.on_message = dark_receive
+    replica.send = dark_send
+
+    def recover() -> None:
+        if replica.on_message is not dark_receive:
+            return  # double-recover is a no-op
+        replica.on_message = original_on_message
+        replica.send = original_send
+        replica.metrics.add("crash_recoveries")
+        replay = getattr(replica, "request_state_transfer", None)
+        if replay is not None:
+            replica.execute_now(replay)
+
+    return recover
+
+
 def delay_everything(replica, delay_ns: int) -> Callable[[], None]:
     """Slow-replica behaviour: add fixed processing delay to every message."""
     original = replica.on_message

@@ -1,0 +1,431 @@
+"""Declarative, seed-deterministic fault campaigns.
+
+A :class:`FaultCampaign` is a schedule of timed :class:`FaultEvent`s —
+inject this fault at t₁, heal it at t₂ — over the fault primitives in
+this package (replica crash/silent/corrupt/slow, sequencer fail/flap/
+equivocate, drops, duplication, reordering, partitions). Arming a
+campaign against a cluster turns each event into discrete-event
+simulator callbacks, so the whole chaos schedule replays bit-for-bit
+under a fixed seed: randomized faults draw from named
+:class:`~repro.sim.randomness.RandomStreams` keyed by the event label,
+never from global randomness.
+
+The campaign keeps a structured timeline of everything it did (and
+mirrors it into a :class:`~repro.runtime.tracing.Tracer` when one is
+supplied), which :class:`~repro.faults.invariants.InvariantMonitor`
+attaches to violation reports — a safety failure names the exact fault
+schedule that provoked it.
+
+:func:`run_campaign` is the one-call harness: build the cluster, attach
+the monitor, arm the campaign, measure, and return the lot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.faults.behaviors import (
+    corrupt_replies,
+    crash_replica,
+    delay_everything,
+    make_silent,
+)
+from repro.faults.invariants import InvariantMonitor
+from repro.faults.network import (
+    drop_fraction_for,
+    duplicate_fraction,
+    isolate_host,
+    reorder_fraction,
+)
+from repro.faults.sequencer import (
+    equivocate_sequencer,
+    fail_sequencer,
+    flap_sequencer,
+)
+from repro.sim.clock import format_duration, ms
+
+
+# ---------------------------------------------------------------------------
+# Declarative schedule
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What to break: a fault kind plus its parameters.
+
+    ``kind`` picks an injector from :data:`FAULT_KINDS`; ``target`` is the
+    kind-specific subject (a replica id for replica faults, a host
+    address for network faults, ignored by sequencer faults); ``params``
+    carries the remaining keyword arguments of the underlying primitive.
+    """
+
+    kind: str
+    target: Optional[int] = None
+    params: Mapping = field(default_factory=dict)
+
+    def describe(self) -> str:
+        bits = [self.kind]
+        if self.target is not None:
+            bits.append(f"target={self.target}")
+        bits.extend(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return " ".join(bits)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: inject at ``at_ns``, heal at ``until_ns``.
+
+    ``until_ns=None`` means the fault stays live for the rest of the run
+    (the campaign's :meth:`FaultCampaign.heal_all` still tears it down).
+    """
+
+    at_ns: int
+    spec: FaultSpec
+    until_ns: Optional[int] = None
+    label: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Injector registry: kind -> (cluster, spec, rng) -> heal
+# ---------------------------------------------------------------------------
+
+
+def _replica(cluster, spec: FaultSpec):
+    if spec.target is None:
+        raise ValueError(f"{spec.kind} needs a target replica id")
+    return cluster.replica_by_id(spec.target)
+
+
+def _sequencer(cluster, spec: FaultSpec):
+    service = cluster.config_service
+    if service is None:
+        raise ValueError(
+            f"{spec.kind} needs an aom cluster (protocol "
+            f"{cluster.options.protocol!r} has no sequencer)"
+        )
+    group_id = spec.params.get("group_id", cluster.options.group_id)
+    return service.sequencer_for(group_id)
+
+
+def _inject_crash_replica(cluster, spec, rng):
+    return crash_replica(_replica(cluster, spec))
+
+
+def _inject_silent_replica(cluster, spec, rng):
+    return make_silent(_replica(cluster, spec))
+
+
+def _inject_corrupt_replies(cluster, spec, rng):
+    return corrupt_replies(_replica(cluster, spec))
+
+
+def _inject_slow_replica(cluster, spec, rng):
+    return delay_everything(_replica(cluster, spec), spec.params["delay_ns"])
+
+
+def _inject_fail_sequencer(cluster, spec, rng):
+    return fail_sequencer(_sequencer(cluster, spec))
+
+
+def _inject_flap_sequencer(cluster, spec, rng):
+    return flap_sequencer(
+        cluster.sim,
+        _sequencer(cluster, spec),
+        down_ns=spec.params["down_ns"],
+        up_ns=spec.params["up_ns"],
+    )
+
+
+def _inject_equivocate_sequencer(cluster, spec, rng):
+    return equivocate_sequencer(
+        _sequencer(cluster, spec),
+        split=spec.params["split"],
+        forge_auth=spec.params.get("forge_auth", True),
+    )
+
+
+def _inject_drop_fraction(cluster, spec, rng):
+    fraction = spec.params["fraction"]
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"drop fraction must be in [0, 1], got {fraction!r}")
+    if spec.target is not None:
+        return drop_fraction_for(cluster.fabric, spec.target, fraction, rng)
+
+    def predicate(packet) -> bool:
+        return rng.random() < fraction
+
+    return cluster.fabric.add_drop_filter(predicate)
+
+
+def _inject_duplicate(cluster, spec, rng):
+    return duplicate_fraction(
+        cluster.fabric,
+        spec.params["fraction"],
+        rng,
+        extra_delay_ns=spec.params.get("extra_delay_ns", 500),
+    )
+
+
+def _inject_reorder(cluster, spec, rng):
+    return reorder_fraction(
+        cluster.fabric,
+        spec.params["fraction"],
+        spec.params["max_delay_ns"],
+        rng,
+    )
+
+
+def _inject_isolate_host(cluster, spec, rng):
+    if spec.target is None:
+        raise ValueError("isolate_host needs a target host address")
+    peers = spec.params.get("peers")
+    if peers is None:
+        peers = [a for a in cluster.group.replica_addrs if a != spec.target]
+    return isolate_host(cluster.fabric, spec.target, peers)
+
+
+def _inject_partition(cluster, spec, rng):
+    groups: Sequence[Sequence[int]] = spec.params["groups"]
+    pairs = [
+        (a, b)
+        for i, left in enumerate(groups)
+        for right in groups[i + 1 :]
+        for a in left
+        for b in right
+    ]
+    for a, b in pairs:
+        cluster.fabric.partition(a, b)
+    healed = [False]
+
+    def heal() -> None:
+        if healed[0]:
+            return
+        healed[0] = True
+        for a, b in pairs:
+            cluster.fabric.heal(a, b)
+
+    return heal
+
+
+FAULT_KINDS: Dict[str, Callable] = {
+    "crash_replica": _inject_crash_replica,
+    "silent_replica": _inject_silent_replica,
+    "corrupt_replies": _inject_corrupt_replies,
+    "slow_replica": _inject_slow_replica,
+    "fail_sequencer": _inject_fail_sequencer,
+    "flap_sequencer": _inject_flap_sequencer,
+    "equivocate_sequencer": _inject_equivocate_sequencer,
+    "drop_fraction": _inject_drop_fraction,
+    "duplicate": _inject_duplicate,
+    "reorder": _inject_reorder,
+    "isolate_host": _inject_isolate_host,
+    "partition": _inject_partition,
+}
+
+
+# ---------------------------------------------------------------------------
+# The campaign
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One thing the campaign did, stamped with virtual time."""
+
+    time: int
+    action: str  # "inject" | "heal"
+    label: str
+    detail: str
+
+    def render(self) -> str:
+        return f"[{format_duration(self.time):>12}] {self.action:<7} {self.label}: {self.detail}"
+
+
+class FaultCampaign:
+    """A validated schedule of fault events, executable on a cluster.
+
+    Construction validates the whole schedule eagerly — unknown kinds,
+    negative times, or heals that precede their injection fail before any
+    virtual time elapses. :meth:`arm` is one-shot: a campaign instance
+    accumulates the timeline of exactly one run.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent]):
+        for index, event in enumerate(events):
+            if event.spec.kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {event.spec.kind!r} "
+                    f"(known: {', '.join(sorted(FAULT_KINDS))})"
+                )
+            if event.at_ns < 0:
+                raise ValueError(f"event {index}: at_ns must be >= 0, got {event.at_ns}")
+            if event.until_ns is not None and event.until_ns <= event.at_ns:
+                raise ValueError(
+                    f"event {index}: until_ns ({event.until_ns}) must be after "
+                    f"at_ns ({event.at_ns})"
+                )
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: e.at_ns)
+        )
+        self.timeline: List[TimelineEntry] = []
+        self._active_heals: List[Tuple[str, Callable[[], None]]] = []
+        self._armed = False
+
+    def _label_for(self, index: int, event: FaultEvent) -> str:
+        return event.label or f"{event.spec.kind}#{index}"
+
+    def arm(self, cluster, tracer=None) -> "FaultCampaign":
+        """Schedule every event on the cluster's simulator."""
+        if self._armed:
+            raise RuntimeError("a FaultCampaign can only be armed once")
+        self._armed = True
+        sim = cluster.sim
+        for index, event in enumerate(self.events):
+            label = self._label_for(index, event)
+            holder: List[Optional[Callable[[], None]]] = [None]
+
+            def inject(event=event, label=label, holder=holder) -> None:
+                rng = sim.streams.get(f"faults.{label}")
+                heal = FAULT_KINDS[event.spec.kind](cluster, event.spec, rng)
+                holder[0] = heal
+                self._active_heals.append((label, heal))
+                self._record(sim.now, "inject", label, event.spec.describe(), tracer)
+
+            def heal(event=event, label=label, holder=holder) -> None:
+                undo = holder[0]
+                if undo is None:
+                    return
+                holder[0] = None
+                undo()
+                self._record(sim.now, "heal", label, event.spec.describe(), tracer)
+
+            sim.schedule_at(event.at_ns, inject)
+            if event.until_ns is not None:
+                sim.schedule_at(event.until_ns, heal)
+        return self
+
+    def heal_all(self) -> None:
+        """Tear down every still-live fault (heals are idempotent)."""
+        for label, heal in self._active_heals:
+            heal()
+
+    def _record(self, time: int, action: str, label: str, detail: str, tracer) -> None:
+        self.timeline.append(TimelineEntry(time, action, label, detail))
+        if tracer is not None:
+            tracer.record("campaign", f"fault-{action}", f"{label}: {detail}")
+
+    def describe(self) -> str:
+        """Human-readable timeline of what actually happened so far."""
+        if not self.timeline:
+            return "(no fault events fired yet)"
+        return "\n".join(entry.render() for entry in self.timeline)
+
+
+# ---------------------------------------------------------------------------
+# Completion timeline (shared by the failover/chaos benches and tests)
+# ---------------------------------------------------------------------------
+
+
+class CompletionTimeline:
+    """Buckets every client completion by virtual-time window.
+
+    Chains onto each client's existing ``on_complete`` hook, so it
+    composes with the measurement harness instead of replacing it.
+    """
+
+    def __init__(self, cluster, bucket_ns: int = ms(5)):
+        if bucket_ns <= 0:
+            raise ValueError(f"bucket_ns must be > 0, got {bucket_ns!r}")
+        self.bucket_ns = bucket_ns
+        self.buckets: Dict[int, int] = {}
+        self.times: List[int] = []
+        sim = cluster.sim
+        for client in cluster.clients:
+            original = client.on_complete
+
+            def hook(request_id, latency_ns, result, _original=original):
+                self.buckets[sim.now // self.bucket_ns] = (
+                    self.buckets.get(sim.now // self.bucket_ns, 0) + 1
+                )
+                self.times.append(sim.now)
+                if _original is not None:
+                    _original(request_id, latency_ns, result)
+
+            client.on_complete = hook
+
+    def ops_in_bucket(self, index: int) -> int:
+        """Completions inside bucket ``index``."""
+        return self.buckets.get(index, 0)
+
+    def bucket_of(self, time_ns: int) -> int:
+        """Bucket index containing ``time_ns``."""
+        return time_ns // self.bucket_ns
+
+    def first_completion_after(self, time_ns: int) -> Optional[int]:
+        """Earliest completion strictly after ``time_ns`` (None if none)."""
+        return min((t for t in self.times if t > time_ns), default=None)
+
+    def rate_between(self, start_ns: int, end_ns: int) -> float:
+        """Completions per second of virtual time inside [start, end)."""
+        if end_ns <= start_ns:
+            return 0.0
+        count = sum(1 for t in self.times if start_ns <= t < end_ns)
+        return count / ((end_ns - start_ns) / 1e9)
+
+
+# ---------------------------------------------------------------------------
+# One-call harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignRun:
+    """Everything a chaos run produced."""
+
+    result: "RunResult"
+    campaign: FaultCampaign
+    completions: CompletionTimeline
+    monitor: Optional[InvariantMonitor]
+    cluster: "Cluster"
+
+
+def run_campaign(
+    options,
+    campaign: FaultCampaign,
+    warmup_ns: int = ms(2),
+    duration_ns: int = ms(100),
+    bucket_ns: int = ms(5),
+    monitor: bool = True,
+    tracer=None,
+    next_op=None,
+    **measurement_kwargs,
+) -> CampaignRun:
+    """Build a cluster, arm the campaign, measure, and return the lot.
+
+    With ``monitor=True`` (the default) an :class:`InvariantMonitor` is
+    attached before any fault fires, wired to the campaign's timeline; a
+    safety violation aborts the run with the fault schedule attached.
+    """
+    from repro.runtime.cluster import build_cluster
+    from repro.runtime.harness import Measurement
+
+    cluster = build_cluster(options)
+    attached_monitor = None
+    if monitor:
+        attached_monitor = InvariantMonitor(context=campaign.describe).attach(cluster)
+    measurement = Measurement(
+        cluster, warmup_ns, duration_ns, next_op, **measurement_kwargs
+    )
+    completions = CompletionTimeline(cluster, bucket_ns)
+    campaign.arm(cluster, tracer)
+    result = measurement.run()
+    campaign.heal_all()
+    return CampaignRun(
+        result=result,
+        campaign=campaign,
+        completions=completions,
+        monitor=attached_monitor,
+        cluster=cluster,
+    )

@@ -1,0 +1,171 @@
+"""Continuous safety-invariant monitoring for chaos runs.
+
+An :class:`InvariantMonitor` attaches to a live cluster and checks, on
+every commit and every aom delivery, the three properties a fault
+campaign must never be able to break:
+
+1. **Agreement** — no two replicas commit different entries at the same
+   slot (digests must match across every replica that commits it).
+2. **Prefix monotonicity** — a replica's committed prefix only grows,
+   and entries inside it are never rewritten (checked in O(1) per commit
+   via the log's hash chain, not by rescanning the prefix).
+3. **Ordered delivery** — each replica's aom stream (certificates plus
+   drop-notifications) is exactly the contiguous sequence 1, 2, 3, …
+   within an epoch, and every certificate carries the sequence number it
+   was delivered at.
+
+Violations raise :class:`InvariantViolation` immediately — at the exact
+virtual instant the bad commit happens, not at the end of the run — with
+the campaign's fault timeline attached so the failing schedule is in the
+traceback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.protocols.log import ReplicaLog
+
+
+class InvariantViolation(AssertionError):
+    """A safety property was broken during a run."""
+
+
+class InvariantMonitor:
+    """Commit-time and delivery-time safety checker for one cluster.
+
+    ``context`` is an optional zero-argument callable (typically a
+    campaign's :meth:`~repro.faults.campaign.FaultCampaign.describe`)
+    whose output is appended to every violation message, so a failure
+    names the fault schedule that provoked it.
+    """
+
+    def __init__(self, context: Optional[Callable[[], str]] = None):
+        self.context = context
+        self.checks = 0  # invariant evaluations performed
+        self.violations: List[str] = []
+        self._restores: List[Callable[[], None]] = []
+        # slot -> (digest, name of the first replica to commit it)
+        self._slot_digests: Dict[int, Tuple[bytes, str]] = {}
+        # replica name -> (commit_cursor, chain hash over the committed prefix)
+        self._commit_watch: Dict[str, Tuple[int, Optional[bytes]]] = {}
+        # (replica name, epoch) -> next expected aom sequence
+        self._aom_expected: Dict[Tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------ lifecycle
+
+    def attach(self, cluster) -> "InvariantMonitor":
+        """Hook every replica's commit and aom-delivery paths."""
+        for replica in cluster.replicas:
+            log = getattr(replica, "log", None)
+            if isinstance(log, ReplicaLog):
+                self._watch_commits(replica, log)
+            lib = getattr(replica, "aom_lib", None)
+            if lib is not None:
+                self._watch_aom(replica, lib)
+        return self
+
+    def detach(self) -> None:
+        """Remove every installed hook (state is kept)."""
+        for restore in reversed(self._restores):
+            restore()
+        self._restores.clear()
+
+    # -------------------------------------------------------------- commits
+
+    def _watch_commits(self, replica, log: ReplicaLog) -> None:
+        original = log.mark_committed_up_to
+
+        def checked(slot: int) -> None:
+            before = log.commit_cursor
+            original(slot)
+            if log.commit_cursor > before:
+                self._on_commit_advance(replica, log, before)
+
+        log.mark_committed_up_to = checked
+
+        def restore() -> None:
+            log.mark_committed_up_to = original
+
+        self._restores.append(restore)
+
+    def _on_commit_advance(self, replica, log: ReplicaLog, before: int) -> None:
+        after = log.commit_cursor
+        name = replica.name
+        prev_cursor, prev_hash = self._commit_watch.get(name, (0, None))
+        if after < prev_cursor:
+            self._fail(
+                f"{name}: committed prefix shrank from {prev_cursor} to {after}"
+            )
+        if prev_hash is not None and log.hash_up_to(prev_cursor - 1) != prev_hash:
+            self._fail(
+                f"{name}: committed prefix [0, {prev_cursor}) was rewritten "
+                "after it became durable"
+            )
+        self._commit_watch[name] = (
+            after,
+            log.hash_up_to(after - 1) if after > 0 else None,
+        )
+        for slot in range(before, after):
+            entry = log.get(slot)
+            seen = self._slot_digests.get(slot)
+            if seen is None:
+                self._slot_digests[slot] = (entry.digest, name)
+            elif seen[0] != entry.digest:
+                self._fail(
+                    f"conflicting commits at slot {slot}: {name} committed "
+                    f"{entry.digest.hex()[:12]} but {seen[1]} committed "
+                    f"{seen[0].hex()[:12]}"
+                )
+        self.checks += 1
+
+    # ------------------------------------------------------------- delivery
+
+    def _watch_aom(self, replica, lib) -> None:
+        # The receiver lib holds the delivery callbacks as attributes (it
+        # captured the replica's bound methods at build time), so the wrap
+        # must happen on the lib, not on the replica.
+        original_deliver = lib.deliver
+        original_drop = lib.deliver_drop
+        name = replica.name
+
+        def checked_deliver(cert) -> None:
+            self._check_sequence(name, cert.epoch, cert.sequence, "certificate")
+            original_deliver(cert)
+
+        def checked_drop(notification) -> None:
+            self._check_sequence(
+                name, notification.epoch, notification.sequence, "drop-notification"
+            )
+            original_drop(notification)
+
+        lib.deliver = checked_deliver
+        lib.deliver_drop = checked_drop
+
+        def restore() -> None:
+            lib.deliver = original_deliver
+            lib.deliver_drop = original_drop
+
+        self._restores.append(restore)
+
+    def _check_sequence(self, name: str, epoch: int, sequence: int, what: str) -> None:
+        key = (name, epoch)
+        expected = self._aom_expected.get(key, 1)
+        if sequence != expected:
+            self._fail(
+                f"{name}: epoch {epoch} delivered {what} with sequence "
+                f"{sequence}, expected {expected} (delivery order diverged "
+                "from the certificate stream)"
+            )
+        self._aom_expected[key] = expected + 1
+        self.checks += 1
+
+    # ------------------------------------------------------------- failures
+
+    def _fail(self, message: str) -> None:
+        self.violations.append(message)
+        if self.context is not None:
+            timeline = self.context()
+            if timeline:
+                message = f"{message}\n--- campaign timeline ---\n{timeline}"
+        raise InvariantViolation(message)

@@ -1,17 +1,18 @@
-"""Network fault helpers over the fabric's drop-filter hooks."""
+"""Network fault helpers over the fabric's perturbation hooks."""
 
 from __future__ import annotations
 
-from typing import Callable
+import random
+from typing import Callable, Optional
 
-from repro.net.fabric import Fabric
+from repro.net.fabric import DuplicateInjector, Fabric, PacketPredicate, ReorderInjector
 from repro.net.packet import Packet
 
 
 def drop_fraction_for(fabric: Fabric, dst: int, fraction: float, rng) -> Callable[[], None]:
     """Drop a fraction of packets destined for one host; returns remover."""
     if not 0.0 <= fraction <= 1.0:
-        raise ValueError("fraction out of range")
+        raise ValueError(f"drop fraction must be in [0, 1], got {fraction!r}")
 
     def predicate(packet: Packet) -> bool:
         return packet.dst == dst and rng.random() < fraction
@@ -19,13 +20,46 @@ def drop_fraction_for(fabric: Fabric, dst: int, fraction: float, rng) -> Callabl
     return fabric.add_drop_filter(predicate)
 
 
+def duplicate_fraction(
+    fabric: Fabric,
+    fraction: float,
+    rng: random.Random,
+    extra_delay_ns: int = 500,
+    predicate: Optional[PacketPredicate] = None,
+) -> Callable[[], None]:
+    """Duplicate a fraction of deliveries fabric-wide; returns remover.
+
+    Parameters are validated eagerly (at injector construction), so a
+    malformed campaign fails before any virtual time elapses.
+    """
+    injector = DuplicateInjector(fraction, rng, extra_delay_ns, predicate)
+    return fabric.add_duplicator(injector)
+
+
+def reorder_fraction(
+    fabric: Fabric,
+    fraction: float,
+    max_delay_ns: int,
+    rng: random.Random,
+    predicate: Optional[PacketPredicate] = None,
+) -> Callable[[], None]:
+    """Hold back a fraction of deliveries so later packets overtake them."""
+    injector = ReorderInjector(fraction, max_delay_ns, rng, predicate)
+    return fabric.add_reorderer(injector)
+
+
 def isolate_host(fabric: Fabric, host: int, peers) -> Callable[[], None]:
-    """Partition a host from a set of peers; returns a healer."""
-    for peer in peers:
+    """Partition a host from a set of peers; returns an idempotent healer."""
+    peer_list = list(peers)
+    for peer in peer_list:
         fabric.partition(host, peer)
+    healed = [False]
 
     def heal() -> None:
-        for peer in peers:
+        if healed[0]:
+            return  # double-heal is a no-op, not an error
+        healed[0] = True
+        for peer in peer_list:
             fabric.heal(host, peer)
 
     return heal

@@ -19,6 +19,49 @@ def fail_sequencer(sequencer: AomSequencer) -> Callable[[], None]:
     return sequencer.recover
 
 
+def flap_sequencer(
+    sim, sequencer: AomSequencer, down_ns: int, up_ns: int
+) -> Callable[[], None]:
+    """Intermittent sequencer: alternates failed/recovered phases.
+
+    Starts with a failure immediately, recovers after ``down_ns``, fails
+    again after ``up_ns``, and so on — the gray-failure middle ground
+    between a clean §6.4 crash (long silence triggers failover) and a
+    healthy switch. Short flaps exercise drop detection and gap agreement
+    without ever tripping the failover threshold.
+
+    Returns a stop function that ends the flapping and leaves the
+    sequencer recovered (safe to call more than once).
+    """
+    if down_ns <= 0:
+        raise ValueError(f"down_ns must be > 0, got {down_ns!r}")
+    if up_ns <= 0:
+        raise ValueError(f"up_ns must be > 0, got {up_ns!r}")
+    stopped = [False]
+
+    def fail_phase() -> None:
+        if stopped[0]:
+            return
+        sequencer.fail()
+        sim.schedule(down_ns, recover_phase)
+
+    def recover_phase() -> None:
+        if stopped[0]:
+            return
+        sequencer.recover()
+        sim.schedule(up_ns, fail_phase)
+
+    fail_phase()
+
+    def stop() -> None:
+        if stopped[0]:
+            return
+        stopped[0] = True
+        sequencer.recover()
+
+    return stop
+
+
 def equivocate_sequencer(
     sequencer: AomSequencer, split: Dict[int, bytes], forge_auth: bool = True
 ) -> Callable[[], None]:

@@ -14,12 +14,14 @@ A single-rack star fabric (every host one hop from a ToR switch) with:
 
 from repro.net.profiles import LinkProfile, NetworkProfile
 from repro.net.packet import GroupAddress, Packet, wire_size_of
-from repro.net.fabric import Fabric, GroupHandler
+from repro.net.fabric import DuplicateInjector, Fabric, GroupHandler, ReorderInjector
 from repro.net.endpoint import Endpoint
 
 __all__ = [
+    "DuplicateInjector",
     "Endpoint",
     "Fabric",
+    "ReorderInjector",
     "GroupAddress",
     "GroupHandler",
     "LinkProfile",

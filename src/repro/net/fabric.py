@@ -12,12 +12,82 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+import random
+
 from repro.net.packet import Address, GroupAddress, Packet, wire_size_of
 from repro.net.profiles import NetworkProfile
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Counter
 
 DropFilter = Callable[[Packet], bool]
+PacketPredicate = Callable[[Packet], bool]
+
+
+def _validate_fraction(fraction: float, what: str) -> None:
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"{what} fraction must be in [0, 1], got {fraction!r}")
+
+
+class DuplicateInjector:
+    """Delivers an extra copy of matching packets after a short lag.
+
+    Models switch/NIC retransmit pathologies. The copy bypasses the
+    per-pair FIFO clamp (a duplicate must not delay legitimate traffic
+    behind it), so receivers see genuine at-least-once delivery.
+    """
+
+    def __init__(
+        self,
+        fraction: float,
+        rng: random.Random,
+        extra_delay_ns: int = 500,
+        predicate: Optional[PacketPredicate] = None,
+    ):
+        _validate_fraction(fraction, "duplicate")
+        if extra_delay_ns < 0:
+            raise ValueError(f"duplicate extra_delay_ns must be >= 0, got {extra_delay_ns!r}")
+        self.fraction = fraction
+        self.rng = rng
+        self.extra_delay_ns = extra_delay_ns
+        self.predicate = predicate
+
+    def matches(self, packet: Packet) -> bool:
+        if self.predicate is not None and not self.predicate(packet):
+            return False
+        return self.rng.random() < self.fraction
+
+
+class ReorderInjector:
+    """Delays matching packets past the FIFO clamp so later traffic overtakes.
+
+    The perturbed packet is scheduled without updating the per-pair FIFO
+    watermark: packets sent after it can arrive first, which is exactly
+    the reordering the aom receiver's FIFO-based drop detection assumes
+    cannot happen — a chaos campaign uses this to probe that assumption.
+    """
+
+    def __init__(
+        self,
+        fraction: float,
+        max_delay_ns: int,
+        rng: random.Random,
+        predicate: Optional[PacketPredicate] = None,
+    ):
+        _validate_fraction(fraction, "reorder")
+        if max_delay_ns < 1:
+            raise ValueError(f"reorder max_delay_ns must be >= 1, got {max_delay_ns!r}")
+        self.fraction = fraction
+        self.max_delay_ns = max_delay_ns
+        self.rng = rng
+        self.predicate = predicate
+
+    def matches(self, packet: Packet) -> bool:
+        if self.predicate is not None and not self.predicate(packet):
+            return False
+        return self.rng.random() < self.fraction
+
+    def draw_delay(self) -> int:
+        return self.rng.randrange(1, self.max_delay_ns + 1)
 
 
 class GroupHandler:
@@ -40,6 +110,8 @@ class Fabric:
         self._next_address = 0
         self._blocked: set = set()  # directed (src, dst) host pairs
         self._drop_filters: List[DropFilter] = []
+        self._duplicators: List[DuplicateInjector] = []
+        self._reorderers: List[ReorderInjector] = []
         self._last_arrival: Dict[Tuple[int, int], int] = {}
         self._rng = sim.streams.get("net.jitter")
         self._loss_rng = sim.streams.get("net.loss")
@@ -81,6 +153,26 @@ class Fabric:
         def remove() -> None:
             if predicate in self._drop_filters:
                 self._drop_filters.remove(predicate)
+
+        return remove
+
+    def add_duplicator(self, injector: DuplicateInjector) -> Callable[[], None]:
+        """Install a packet-duplication injector; returns a remover."""
+        self._duplicators.append(injector)
+
+        def remove() -> None:
+            if injector in self._duplicators:
+                self._duplicators.remove(injector)
+
+        return remove
+
+    def add_reorderer(self, injector: ReorderInjector) -> Callable[[], None]:
+        """Install a packet-reordering injector; returns a remover."""
+        self._reorderers.append(injector)
+
+        def remove() -> None:
+            if injector in self._reorderers:
+                self._reorderers.remove(injector)
 
         return remove
 
@@ -140,7 +232,7 @@ class Fabric:
             self.counters.add("unroutable")
             return
         delay = self.profile.one_way_ns(packet.size) + self._jitter()
-        self._schedule_delivery(port, packet, self.sim.now + delay)
+        self._dispatch(port, packet, self.sim.now + delay)
 
     def deliver_from_switch(self, dst: int, packet: Packet, extra_delay: int = 0) -> None:
         """Egress leg from an in-network element to a host.
@@ -164,10 +256,30 @@ class Fabric:
             + self.profile.link.serialization_ns(packet.size)
             + self._jitter()
         )
-        self._schedule_delivery(port, egress, self.sim.now + delay)
+        self._dispatch(port, egress, self.sim.now + delay)
 
-    def _schedule_delivery(self, port: "EndpointPort", packet: Packet, arrival: int) -> None:
-        if self.profile.fifo_per_pair and isinstance(packet.dst, int):
+    def _dispatch(self, port: "EndpointPort", packet: Packet, arrival: int) -> None:
+        """Route one delivery through the active perturbation injectors."""
+        for reorderer in self._reorderers:
+            if reorderer.matches(packet):
+                self.counters.add("reordered")
+                # Held back without moving the FIFO watermark: packets sent
+                # later may now arrive first.
+                self._schedule_delivery(port, packet, arrival + reorderer.draw_delay(), fifo=False)
+                break
+        else:
+            self._schedule_delivery(port, packet, arrival)
+        for duplicator in self._duplicators:
+            if duplicator.matches(packet):
+                self.counters.add("duplicated")
+                self._schedule_delivery(
+                    port, packet, arrival + duplicator.extra_delay_ns, fifo=False
+                )
+
+    def _schedule_delivery(
+        self, port: "EndpointPort", packet: Packet, arrival: int, fifo: bool = True
+    ) -> None:
+        if fifo and self.profile.fifo_per_pair and isinstance(packet.dst, int):
             key = (packet.src, packet.dst)
             arrival = max(arrival, self._last_arrival.get(key, 0))
             self._last_arrival[key] = arrival

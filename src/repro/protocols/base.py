@@ -207,7 +207,19 @@ class BaseReplica(Endpoint):
 
 
 class BaseClient(Endpoint):
-    """Closed-loop client with reply-quorum collection and retransmission."""
+    """Closed-loop client with reply-quorum collection and retransmission.
+
+    Retransmission uses exponential backoff with seeded jitter: the first
+    retry fires after ``retry_timeout_ns``, each consecutive retry of the
+    same request multiplies the timeout by ``retry_backoff`` up to
+    ``retry_timeout_max_ns``, and every arming adds a jitter draw from a
+    per-client random stream (deterministic under the simulator seed).
+    This keeps a fleet of stalled clients from flooding the fabric in
+    lock-step during a long outage. Optionally ``max_request_retries``
+    bounds the attempts, after which the request is *aborted* — counted
+    in :attr:`aborted`, reported through :attr:`on_abort` — and the
+    closed loop moves on instead of hammering a dead quorum forever.
+    """
 
     def __init__(
         self,
@@ -219,13 +231,33 @@ class BaseClient(Endpoint):
         reply_quorum: int,
         cost_model: Optional[CostModel] = None,
         retry_timeout_ns: int = ms(5),
+        retry_backoff: float = 2.0,
+        retry_timeout_max_ns: Optional[int] = None,
+        retry_jitter: float = 0.1,
+        max_request_retries: Optional[int] = None,
     ):
         super().__init__(sim, client_id_name, cores=1, cost_model=cost_model)
+        if retry_backoff < 1.0:
+            raise ValueError(f"retry_backoff must be >= 1.0, got {retry_backoff!r}")
+        if not 0.0 <= retry_jitter <= 1.0:
+            raise ValueError(f"retry_jitter must be in [0, 1], got {retry_jitter!r}")
+        if max_request_retries is not None and max_request_retries < 1:
+            raise ValueError(
+                f"max_request_retries must be >= 1 or None, got {max_request_retries!r}"
+            )
         self.group = group
         self.crypto = crypto
         self.pairwise = pairwise
         self.reply_quorum = reply_quorum
         self.retry_timeout_ns = retry_timeout_ns
+        self.retry_backoff = retry_backoff
+        self.retry_timeout_max_ns = (
+            retry_timeout_max_ns if retry_timeout_max_ns is not None else 4 * retry_timeout_ns
+        )
+        self.retry_jitter = retry_jitter
+        self.max_request_retries = max_request_retries
+        self._retry_rng = sim.streams.get(f"client.retry/{client_id_name}")
+        self._retry_attempt = 0
         self.next_request_id = 1
         self.inflight: Optional[ClientRequest] = None
         self.inflight_since = 0
@@ -233,8 +265,10 @@ class BaseClient(Endpoint):
         self._retry_timer = None
         self.completions = 0
         self.retries = 0
+        self.aborted = 0
         # Harness hooks.
         self.on_complete: Optional[Callable[[int, int, bytes], None]] = None
+        self.on_abort: Optional[Callable[[int], None]] = None
         self.next_op: Optional[Callable[[], Optional[bytes]]] = None
 
     # ------------------------------------------------------------ lifecycle
@@ -263,22 +297,52 @@ class BaseClient(Endpoint):
         self.inflight = request
         self.inflight_since = self.sim.now
         self._replies.clear()
+        self._retry_attempt = 0
         self.transmit_request(request, first=True)
         self._arm_retry()
         return request.request_id
 
+    def _current_retry_timeout(self) -> int:
+        """Backed-off timeout for the next retry, with seeded jitter."""
+        timeout = min(
+            self.retry_timeout_ns * (self.retry_backoff ** self._retry_attempt),
+            float(self.retry_timeout_max_ns),
+        )
+        span = int(timeout * self.retry_jitter)
+        if span > 0:
+            timeout += self._retry_rng.randrange(span)
+        return int(timeout)
+
     def _arm_retry(self) -> None:
         if self._retry_timer is not None:
             self._retry_timer.cancel()
-        self._retry_timer = self.set_timer(self.retry_timeout_ns, self._retry)
+        self._retry_timer = self.set_timer(self._current_retry_timeout(), self._retry)
 
     def _retry(self) -> None:
         self._retry_timer = None
         if self.inflight is None:
             return
+        if (
+            self.max_request_retries is not None
+            and self._retry_attempt >= self.max_request_retries
+        ):
+            self._abort_inflight()
+            return
         self.retries += 1
+        self._retry_attempt += 1
         self.transmit_request(self.inflight, first=False)
         self._arm_retry()
+
+    def _abort_inflight(self) -> None:
+        """Give up on the in-flight request after exhausting its retries."""
+        request = self.inflight
+        self.inflight = None
+        self._replies.clear()
+        self._retry_attempt = 0
+        self.aborted += 1
+        if self.on_abort is not None:
+            self.on_abort(request.request_id)
+        self._issue_next()
 
     # ------------------------------------------------------------ transport
 
@@ -317,6 +381,7 @@ class BaseClient(Endpoint):
         latency = self.sim.now - self.inflight_since
         self.inflight = None
         self._replies.clear()
+        self._retry_attempt = 0
         if self._retry_timer is not None:
             self._retry_timer.cancel()
             self._retry_timer = None

@@ -976,6 +976,22 @@ class NeoBftReplica(BaseReplica):
 
     # --- state transfer (laggard catch-up during epoch changes) ---------
 
+    def request_state_transfer(self, up_to: Optional[int] = None) -> None:
+        """Ask peers for everything past our log tail (crash-recovery replay).
+
+        Used by the crash-recover fault behaviour: a replica that slept
+        through a stretch of deliveries pulls the missed entries in one
+        sweep instead of discovering them slot by slot through gap
+        agreements. Peers clamp the range to their own log length, so an
+        open-ended request is safe.
+        """
+        self.metrics.add("state_transfers")
+        target = up_to if up_to is not None else len(self.log) + 1_000_000
+        for peer in self.peers():
+            self.send(
+                peer, StateTransferRequest(self.view_id.epoch, len(self.log), target)
+            )
+
     def _summaries_range(self, start: int, end: int) -> Tuple[LogEntrySummary, ...]:
         out = []
         for slot in range(max(0, start), min(end, len(self.log))):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from repro.runtime.cluster import Cluster, ClusterOptions, build_cluster
@@ -21,6 +21,7 @@ class RunResult:
     latency: Histogram  # end-to-end client latency (ns), window-gated
     completions: int
     retries: int
+    aborted: int = 0  # requests given up after exhausting their retries
     replica_metrics: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -59,10 +60,20 @@ class Measurement:
         duration_ns: int = ms(100),
         next_op: Optional[Callable[[], bytes]] = None,
         per_client_ops: Optional[Dict[int, Callable[[], bytes]]] = None,
+        drain_step_ns: int = ms(2),
+        drain_deadline_ns: int = ms(20),
     ):
+        if drain_step_ns <= 0:
+            raise ValueError(f"drain_step_ns must be > 0, got {drain_step_ns!r}")
+        if drain_deadline_ns < 0:
+            raise ValueError(
+                f"drain_deadline_ns must be >= 0, got {drain_deadline_ns!r}"
+            )
         self.cluster = cluster
         self.warmup_ns = warmup_ns
         self.duration_ns = duration_ns
+        self.drain_step_ns = drain_step_ns
+        self.drain_deadline_ns = drain_deadline_ns
         self.latency = Histogram("client-latency")
         self.meter = RateMeter()
         rng = cluster.sim.streams.get("workload.echo")
@@ -96,9 +107,7 @@ class Measurement:
         self.meter.open_window(sim.now)
         sim.run_for(self.duration_ns)
         self.meter.close_window(sim.now)
-        # Let in-flight requests finish so no client is mid-request when
-        # callers inspect state afterwards.
-        sim.run_for(ms(2))
+        self._drain()
         merged_metrics: Dict[str, int] = {}
         for replica in self.cluster.replicas:
             for key, value in replica.metrics.as_dict().items():
@@ -110,8 +119,29 @@ class Measurement:
             latency=self.latency,
             completions=self.meter.total_completions,
             retries=sum(c.retries for c in self.cluster.clients),
+            aborted=sum(c.aborted for c in self.cluster.clients),
             replica_metrics=merged_metrics,
         )
+
+    def _drain(self) -> None:
+        """Let in-flight requests finish so no client is mid-request when
+        callers inspect state afterwards.
+
+        New operations stop being issued for the duration, then the sim
+        runs in ``drain_step_ns`` steps until every client is idle or
+        ``drain_deadline_ns`` of virtual time has passed — a cluster mid-
+        outage (e.g. a chaos campaign that never heals) stays bounded.
+        """
+        sim = self.cluster.sim
+        clients = self.cluster.clients
+        saved_ops = [client.next_op for client in clients]
+        for client in clients:
+            client.next_op = None
+        deadline = sim.now + self.drain_deadline_ns
+        while any(client.inflight is not None for client in clients) and sim.now < deadline:
+            sim.run_for(min(self.drain_step_ns, deadline - sim.now))
+        for client, op in zip(clients, saved_ops):
+            client.next_op = op
 
 
 def run_once(
@@ -136,7 +166,9 @@ def latency_throughput_sweep(
     """The Figure 7 sweep: one run per closed-loop client count."""
     results = []
     for count in client_counts:
-        options = ClusterOptions(**{**base_options.__dict__, "num_clients": count})
+        # dataclasses.replace keeps any future non-field state out of the
+        # copy (a raw __dict__ splat resurrects stale attributes).
+        options = replace(base_options, num_clients=count)
         results.append(run_once(options, warmup_ns, duration_ns, next_op))
     return results
 

@@ -3,8 +3,20 @@
 import pytest
 
 from repro.faults.behaviors import delay_everything, make_silent
-from repro.faults.network import drop_fraction_for, isolate_host
-from repro.net import Endpoint, Fabric, LinkProfile, NetworkProfile
+from repro.faults.network import (
+    drop_fraction_for,
+    duplicate_fraction,
+    isolate_host,
+    reorder_fraction,
+)
+from repro.net import (
+    DuplicateInjector,
+    Endpoint,
+    Fabric,
+    LinkProfile,
+    NetworkProfile,
+    ReorderInjector,
+)
 from repro.net.profiles import DEFAULT_PROFILE, LOSSY_PROFILE, WAN_PROFILE
 from repro.sim import Simulator
 from repro.sim.clock import us
@@ -100,6 +112,75 @@ class TestFaultHelpers:
         a.execute_now(a.send, b.address, "slow")
         sim.run()
         assert b.cpu.busy_ns >= us(100)
+
+    def test_isolate_heal_is_idempotent(self):
+        sim, fabric, a, b = pair()
+        heal = isolate_host(fabric, a.address, [b.address])
+        heal()
+        heal()  # double-heal must not raise
+        a.execute_now(a.send, b.address, "open")
+        sim.run()
+        assert b.seen == ["open"]
+
+
+class TestInjectors:
+    def test_fraction_validated_at_construction(self):
+        rng = Simulator(seed=1).streams.get("x")
+        with pytest.raises(ValueError):
+            DuplicateInjector(-0.1, rng)
+        with pytest.raises(ValueError):
+            DuplicateInjector(1.5, rng)
+        with pytest.raises(ValueError):
+            DuplicateInjector(0.5, rng, extra_delay_ns=-1)
+        with pytest.raises(ValueError):
+            ReorderInjector(2.0, 1000, rng)
+        with pytest.raises(ValueError):
+            ReorderInjector(0.5, 0, rng)
+
+    def test_helpers_validate_eagerly(self):
+        sim, fabric, a, b = pair()
+        rng = sim.streams.get("x")
+        with pytest.raises(ValueError):
+            duplicate_fraction(fabric, 7.0, rng)
+        with pytest.raises(ValueError):
+            reorder_fraction(fabric, 0.5, -5, rng)
+
+    def test_duplicate_delivers_extra_copies(self):
+        sim, fabric, a, b = pair()
+        rng = sim.streams.get("x")
+        remove = duplicate_fraction(fabric, 1.0, rng)
+        a.execute_now(a.send, b.address, "twin")
+        sim.run()
+        assert b.seen == ["twin", "twin"]
+        assert fabric.counters.get("duplicated") == 1
+        remove()
+        a.execute_now(a.send, b.address, "single")
+        sim.run()
+        assert b.seen == ["twin", "twin", "single"]
+
+    def test_reorder_lets_later_packets_overtake(self):
+        sim, fabric, a, b = pair()
+        rng = sim.streams.get("x")
+        # Hold back only the first message, far past the second's arrival.
+        held = []
+
+        def first_only(packet):
+            if not held:
+                held.append(packet)
+                return True
+            return False
+
+        remove = reorder_fraction(fabric, 1.0, us(500), rng, predicate=first_only)
+
+        def burst():
+            a.send(b.address, "early")
+            a.send(b.address, "late")
+
+        a.execute_now(burst)
+        sim.run()
+        assert b.seen == ["late", "early"]
+        assert fabric.counters.get("reordered") == 1
+        remove()
 
 
 class TestEndpointCounters:
