@@ -463,6 +463,7 @@ class AomReceiverLib:
 
     def _flush(self) -> None:
         progressed = False
+        tel = self.host.sim.telemetry
         while True:
             seq = self.next_seq
             if seq in self._dropped:
@@ -471,6 +472,8 @@ class AomReceiverLib:
                 self.next_seq += 1
                 self.dropped_count += 1
                 progressed = True
+                if tel is not None:
+                    tel.metrics.inc("aom.drop_notifications", node=self.host.name)
                 self.deliver_drop(
                     DropNotification(self.config.group_id, self.epoch, seq)
                 )
@@ -488,6 +491,8 @@ class AomReceiverLib:
             self.next_seq += 1
             self.delivered_count += 1
             progressed = True
+            if tel is not None:
+                tel.metrics.inc("aom.delivered", node=self.host.name)
             self.deliver(cert)
         if progressed:
             self.last_delivery_ns = self.host.sim.now

@@ -48,6 +48,9 @@ class AomSenderLib:
         datagram = AomSendDatagram(
             group_id=self.group_id, digest=digest, payload=payload
         )
+        tel = self.host.sim.telemetry
+        if tel is not None:
+            tel.metrics.inc("aom.multicasts", node=self.host.name)
         self.host.send(self.group_address, datagram)
         self.sent_count += 1
         return digest

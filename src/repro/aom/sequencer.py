@@ -28,6 +28,7 @@ from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.switchfab.fpga import ChainedToken, FpgaCoprocessor
 from repro.switchfab.hmac_pipeline import FoldedHmacPipeline
+from repro.telemetry.spans import trace_key_of as _trace_key_of
 
 # An equivocation behaviour maps (receiver, packet) -> packet to actually
 # send (or None to suppress that leg).
@@ -85,6 +86,7 @@ class AomSequencer(GroupHandler):
         """Fabric callback at switch ingress for group-addressed traffic."""
         if self.failed:
             self.packets_dropped_in_switch += 1
+            self._count_tail_drop()
             return
         message = packet.message
         digest = getattr(message, "digest", None)
@@ -118,8 +120,18 @@ class AomSequencer(GroupHandler):
         result = self.hmac_pipeline.authenticate(arrival, base.auth_input())
         if result is None:
             self.packets_dropped_in_switch += 1
+            self._count_tail_drop()
             return
         done, partials = result
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.metrics.inc("aom.sequenced", group=str(self.group_id))
+            tel.metrics.set_gauge(
+                "switch.hmac_stage_busy",
+                self.hmac_pipeline.engine.backlog_ns(arrival),
+                stage="pipe1",
+            )
+            self._record_sequence_span(tel, arrival, done, sequence, payload)
         copies = [dc_replace_packet(base, auth=partial) for partial in partials]
         self.sim.schedule_at(done, self._multicast_many, copies)
 
@@ -146,10 +158,35 @@ class AomSequencer(GroupHandler):
         self._last_header_digest = header_digest
         if result is None:
             self.packets_dropped_in_switch += 1
+            self._count_tail_drop()
             return
         done, token = result
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.metrics.inc("aom.sequenced", group=str(self.group_id))
+            tel.metrics.set_gauge("switch.fpga_stock", self.fpga.stock_level(arrival))
+            kind = "issued" if token.signature is not None else "skipped"
+            tel.metrics.inc("switch.fpga_signatures", kind=kind)
+            self._record_sequence_span(tel, arrival, done, sequence, payload)
         packet = dc_replace_packet(provisional, auth=token)
         self.sim.schedule_at(done, self._multicast_many, [packet])
+
+    # ----------------------------------------------------------- telemetry
+
+    def _count_tail_drop(self) -> None:
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.metrics.inc("switch.tail_drops", group=str(self.group_id))
+
+    def _record_sequence_span(self, tel, arrival: int, done: int, sequence: int, payload) -> None:
+        if tel.spans is None:
+            return
+        trace = _trace_key_of(payload)
+        if trace is not None:
+            tel.spans.record(
+                trace, "switch.sequence", "sequencer", f"sequencer-{self.group_id}",
+                arrival, done, sequence=sequence, variant=self.variant.name.lower(),
+            )
 
     # ------------------------------------------------------------ multicast
 

@@ -44,6 +44,7 @@ class InvariantMonitor:
         self.context = context
         self.checks = 0  # invariant evaluations performed
         self.violations: List[str] = []
+        self._sim = None  # set at attach; used to find the telemetry sink
         self._restores: List[Callable[[], None]] = []
         # slot -> (digest, name of the first replica to commit it)
         self._slot_digests: Dict[int, Tuple[bytes, str]] = {}
@@ -56,6 +57,7 @@ class InvariantMonitor:
 
     def attach(self, cluster) -> "InvariantMonitor":
         """Hook every replica's commit and aom-delivery paths."""
+        self._sim = getattr(cluster, "sim", None)
         for replica in cluster.replicas:
             log = getattr(replica, "log", None)
             if isinstance(log, ReplicaLog):
@@ -112,10 +114,18 @@ class InvariantMonitor:
             if seen is None:
                 self._slot_digests[slot] = (entry.digest, name)
             elif seen[0] != entry.digest:
+                request = getattr(entry, "request", None)
+                trace = None
+                if request is not None:
+                    client_id = getattr(request, "client_id", None)
+                    request_id = getattr(request, "request_id", None)
+                    if client_id is not None and request_id is not None:
+                        trace = (client_id, request_id)
                 self._fail(
                     f"conflicting commits at slot {slot}: {name} committed "
                     f"{entry.digest.hex()[:12]} but {seen[1]} committed "
-                    f"{seen[0].hex()[:12]}"
+                    f"{seen[0].hex()[:12]}",
+                    trace=trace,
                 )
         self.checks += 1
 
@@ -162,10 +172,22 @@ class InvariantMonitor:
 
     # ------------------------------------------------------------- failures
 
-    def _fail(self, message: str) -> None:
+    def _fail(self, message: str, trace: Optional[Tuple[int, int]] = None) -> None:
         self.violations.append(message)
         if self.context is not None:
             timeline = self.context()
             if timeline:
                 message = f"{message}\n--- campaign timeline ---\n{timeline}"
+        span_tree = self._render_span_tree(trace)
+        if span_tree:
+            message = f"{message}\n--- offending request span tree ---\n{span_tree}"
         raise InvariantViolation(message)
+
+    def _render_span_tree(self, trace: Optional[Tuple[int, int]]) -> str:
+        """The offending request's journey, when telemetry recorded it."""
+        if trace is None or self._sim is None:
+            return ""
+        tel = getattr(self._sim, "telemetry", None)
+        if tel is None or tel.spans is None:
+            return ""
+        return tel.spans.render_trace(trace)

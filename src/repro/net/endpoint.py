@@ -64,6 +64,12 @@ class Endpoint(Actor, EndpointPort):
 
     def receive(self, packet: Packet, arrival: int) -> None:
         """Fabric callback: queue the packet on this endpoint's CPU."""
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.metrics.set_gauge(
+                "net.queue_depth", self.cpu.queue_depth, host=self.name
+            )
+            tel.metrics.inc("net.received", host=self.name)
         self.execute(arrival, self._handle_packet, packet)
 
     def _handle_packet(self, packet: Packet) -> None:

@@ -18,6 +18,7 @@ from repro.net.packet import Address, GroupAddress, Packet, wire_size_of
 from repro.net.profiles import NetworkProfile
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Counter
+from repro.telemetry.spans import trace_key_of as _trace_key_of
 
 DropFilter = Callable[[Packet], bool]
 PacketPredicate = Callable[[Packet], bool]
@@ -116,6 +117,13 @@ class Fabric:
         self._rng = sim.streams.get("net.jitter")
         self._loss_rng = sim.streams.get("net.loss")
 
+    def _count(self, event: str) -> None:
+        """Bump a packet-outcome counter, mirrored into telemetry."""
+        self.counters.add(event)
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.metrics.inc("net.packets", event=event)
+
     # ----------------------------------------------------------- topology
 
     def attach(self, port: "EndpointPort", address: Optional[int] = None) -> int:
@@ -190,15 +198,15 @@ class Fabric:
 
     def _should_drop(self, packet: Packet) -> bool:
         if isinstance(packet.dst, int) and (packet.src, packet.dst) in self._blocked:
-            self.counters.add("partitioned")
+            self._count("partitioned")
             return True
         for predicate in self._drop_filters:
             if predicate(packet):
-                self.counters.add("filtered")
+                self._count("filtered")
                 return True
         rate = self.profile.drop_rate
         if rate > 0.0 and self._loss_rng.random() < rate:
-            self.counters.add("lost")
+            self._count("lost")
             return True
         return False
 
@@ -208,19 +216,27 @@ class Fabric:
         """Inject a packet at ``src``'s NIC at the current virtual time."""
         size = wire_size_of(message)
         packet = Packet(src=src, dst=dst, message=message, size=size, sent_at=self.sim.now)
-        self.counters.add("sent")
+        self._count("sent")
         if self._should_drop(packet):
             return
         if isinstance(dst, GroupAddress):
             handler = self._groups.get(dst)
             if handler is None:
-                self.counters.add("unroutable")
+                self._count("unroutable")
                 return
             ingress = (
                 self.profile.link.latency_ns
                 + self.profile.link.serialization_ns(size)
                 + self._jitter()
             )
+            tel = self.sim.telemetry
+            if tel is not None and tel.spans is not None:
+                trace = _trace_key_of(message)
+                if trace is not None:
+                    tel.spans.record(
+                        trace, "net.to_sequencer", "net", "fabric",
+                        self.sim.now, self.sim.now + ingress,
+                    )
             self.sim.schedule(ingress, handler.on_packet, packet, self.sim.now + ingress)
             return
         self._deliver_unicast(packet)
@@ -229,7 +245,7 @@ class Fabric:
         assert isinstance(packet.dst, int)
         port = self._endpoints.get(packet.dst)
         if port is None:
-            self.counters.add("unroutable")
+            self._count("unroutable")
             return
         delay = self.profile.one_way_ns(packet.size) + self._jitter()
         self._dispatch(port, packet, self.sim.now + delay)
@@ -248,7 +264,7 @@ class Fabric:
             return
         port = self._endpoints.get(dst)
         if port is None:
-            self.counters.add("unroutable")
+            self._count("unroutable")
             return
         delay = (
             extra_delay
@@ -262,7 +278,7 @@ class Fabric:
         """Route one delivery through the active perturbation injectors."""
         for reorderer in self._reorderers:
             if reorderer.matches(packet):
-                self.counters.add("reordered")
+                self._count("reordered")
                 # Held back without moving the FIFO watermark: packets sent
                 # later may now arrive first.
                 self._schedule_delivery(port, packet, arrival + reorderer.draw_delay(), fifo=False)
@@ -271,7 +287,7 @@ class Fabric:
             self._schedule_delivery(port, packet, arrival)
         for duplicator in self._duplicators:
             if duplicator.matches(packet):
-                self.counters.add("duplicated")
+                self._count("duplicated")
                 self._schedule_delivery(
                     port, packet, arrival + duplicator.extra_delay_ns, fifo=False
                 )
@@ -283,7 +299,15 @@ class Fabric:
             key = (packet.src, packet.dst)
             arrival = max(arrival, self._last_arrival.get(key, 0))
             self._last_arrival[key] = arrival
-        self.counters.add("delivered")
+        self._count("delivered")
+        tel = self.sim.telemetry
+        if tel is not None and tel.spans is not None and isinstance(packet.dst, int):
+            trace = _trace_key_of(packet.message, dst=packet.dst)
+            if trace is not None:
+                tel.spans.record(
+                    trace, "net.deliver", "net", "fabric",
+                    self.sim.now, arrival, src=packet.src, dst=packet.dst,
+                )
         self.sim.schedule_at(arrival, port.receive, packet, arrival)
 
     def _jitter(self) -> int:

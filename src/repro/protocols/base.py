@@ -69,6 +69,9 @@ class ReplicaGroup:
 class BaseReplica(Endpoint):
     """Common replica plumbing."""
 
+    #: Protocol label published on replica-side metrics; subclasses override.
+    PROTO = "base"
+
     def __init__(
         self,
         sim: Simulator,
@@ -200,9 +203,28 @@ class BaseReplica(Endpoint):
 
     # ------------------------------------------------------------ app hooks
 
-    def execute_op(self, op: bytes) -> Tuple[bytes, object]:
-        """Run one operation on the app, charging its modeled cost."""
-        self.charge(self.app.exec_cost_ns(op, self.cost))
+    def execute_op(
+        self, op: bytes, request: Optional[ClientRequest] = None
+    ) -> Tuple[bytes, object]:
+        """Run one operation on the app, charging its modeled cost.
+
+        Pass the originating ``request`` when available so the execution
+        interval lands on that request's span tree.
+        """
+        cost = self.app.exec_cost_ns(op, self.cost)
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.metrics.inc("replica.ops_executed", proto=self.PROTO)
+            tel.metrics.observe("replica.exec_cost_ns", cost, proto=self.PROTO)
+            if tel.spans is not None and request is not None:
+                # The handler's charged work so far positions this op's
+                # slice inside the CPU completion interval.
+                start = self.sim.now + self._charged
+                tel.spans.record(
+                    (request.client_id, request.request_id),
+                    "replica.execute", "crypto", self.name, start, start + cost,
+                )
+        self.charge(cost)
         return self.app.execute_with_undo(op)
 
 
@@ -220,6 +242,9 @@ class BaseClient(Endpoint):
     in :attr:`aborted`, reported through :attr:`on_abort` — and the
     closed loop moves on instead of hammering a dead quorum forever.
     """
+
+    #: Protocol label published on client-side metrics; subclasses override.
+    PROTO = "base"
 
     def __init__(
         self,
@@ -266,6 +291,8 @@ class BaseClient(Endpoint):
         self.completions = 0
         self.retries = 0
         self.aborted = 0
+        self._root_span = None  # open telemetry span of the inflight request
+        self._first_reply_ns: Optional[int] = None
         # Harness hooks.
         self.on_complete: Optional[Callable[[int, int, bytes], None]] = None
         self.on_abort: Optional[Callable[[int], None]] = None
@@ -298,6 +325,13 @@ class BaseClient(Endpoint):
         self.inflight_since = self.sim.now
         self._replies.clear()
         self._retry_attempt = 0
+        self._first_reply_ns = None
+        tel = self.sim.telemetry
+        if tel is not None and tel.spans is not None:
+            self._root_span = tel.spans.begin(
+                (self.address, request.request_id),
+                "request", "client", self.name, self.sim.now,
+            )
         self.transmit_request(request, first=True)
         self._arm_retry()
         return request.request_id
@@ -340,6 +374,11 @@ class BaseClient(Endpoint):
         self._replies.clear()
         self._retry_attempt = 0
         self.aborted += 1
+        tel = self.sim.telemetry
+        if tel is not None and tel.spans is not None:
+            tel.spans.finish(self._root_span, self.sim.now, aborted=True)
+        self._root_span = None
+        self._first_reply_ns = None
         if self.on_abort is not None:
             self.on_abort(request.request_id)
         self._issue_next()
@@ -368,6 +407,8 @@ class BaseClient(Endpoint):
             return
         if not self.verify_reply(src, reply):
             return
+        if self._first_reply_ns is None:
+            self._first_reply_ns = self.sim.now
         bucket = self._replies.setdefault(reply.match_key(), {})
         bucket[src] = reply
         if len(bucket) >= self.reply_quorum:
@@ -386,6 +427,21 @@ class BaseClient(Endpoint):
             self._retry_timer.cancel()
             self._retry_timer = None
         self.completions += 1
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.metrics.observe("client.request_latency_ns", latency, proto=self.PROTO)
+            if tel.spans is not None:
+                trace = (self.address, request_id)
+                if self._first_reply_ns is not None and self.sim.now > self._first_reply_ns:
+                    # From the first accepted reply until quorum: the tail
+                    # of the reply collection the client is waiting on.
+                    tel.spans.record(
+                        trace, "client.quorum_wait", "quorum", self.name,
+                        self._first_reply_ns, self.sim.now,
+                    )
+                tel.spans.finish(self._root_span, self.sim.now)
+        self._root_span = None
+        self._first_reply_ns = None
         if self.on_complete is not None:
             self.on_complete(request_id, latency, result)
         self._issue_next()

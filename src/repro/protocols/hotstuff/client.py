@@ -9,6 +9,8 @@ from repro.protocols.messages import ClientRequest
 class HotStuffClient(BaseClient):
     """Closed-loop HotStuff client."""
 
+    PROTO = "hotstuff"
+
     def __init__(self, sim, name, group: ReplicaGroup, crypto, pairwise, **kwargs):
         kwargs.setdefault("retry_timeout_ns", 50_000_000)
         super().__init__(

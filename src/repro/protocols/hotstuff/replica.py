@@ -33,6 +33,8 @@ class _BatchState:
 class HotStuffReplica(BaseReplica):
     """One HotStuff replica (stable leader = replica 0)."""
 
+    PROTO = "hotstuff"
+
     def __init__(
         self,
         sim,
@@ -208,7 +210,7 @@ class HotStuffReplica(BaseReplica):
             if cached is not None:
                 self.send(request.client_id, cached)
             return
-        result, _ = self.execute_op(request.op)
+        result, _ = self.execute_op(request.op, request=request)
         self.ops_executed += 1
         self.client_table[request.client_id] = (request.request_id, None)
         reply = ClientReply(

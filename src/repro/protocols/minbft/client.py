@@ -9,6 +9,8 @@ from repro.protocols.messages import ClientRequest
 class MinBftClient(BaseClient):
     """Closed-loop MinBFT client."""
 
+    PROTO = "minbft"
+
     def __init__(self, sim, name, group: ReplicaGroup, crypto, pairwise, **kwargs):
         kwargs.setdefault("retry_timeout_ns", 20_000_000)
         super().__init__(

@@ -52,6 +52,8 @@ class _PrepareState:
 class MinBftReplica(BaseReplica):
     """One MinBFT replica (n = 2f+1)."""
 
+    PROTO = "minbft"
+
     def __init__(
         self,
         sim,
@@ -197,7 +199,7 @@ class MinBftReplica(BaseReplica):
             if cached is not None:
                 self.send(request.client_id, cached)
             return
-        result, _ = self.execute_op(request.op)
+        result, _ = self.execute_op(request.op, request=request)
         self.ops_executed += 1
         self.client_table[request.client_id] = (request.request_id, None)
         reply = ClientReply(

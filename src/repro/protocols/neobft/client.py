@@ -17,6 +17,8 @@ from repro.protocols.messages import ClientRequest
 class NeoBftClient(BaseClient):
     """Closed-loop NeoBFT client over aom."""
 
+    PROTO = "neobft"
+
     def __init__(self, sim, name, group: ReplicaGroup, crypto, pairwise, **kwargs):
         super().__init__(
             sim, name, group, crypto, pairwise, reply_quorum=group.quorum, **kwargs

@@ -91,6 +91,8 @@ class _GapState:
 class NeoBftReplica(BaseReplica):
     """One NeoBFT replica."""
 
+    PROTO = "neobft"
+
     def __init__(
         self,
         sim,
@@ -305,7 +307,7 @@ class NeoBftReplica(BaseReplica):
                 # request this replica cannot authenticate gets no reply.
                 self.log.mark_executed(slot, b"", None)
                 return
-            result, app_undo = self.execute_op(request.op)
+            result, app_undo = self.execute_op(request.op, request=request)
             self.ops_executed += 1
             self.client_table[request.client_id] = (request.request_id, None)
 

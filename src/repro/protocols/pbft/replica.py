@@ -39,6 +39,8 @@ class _SlotState:
 class PbftReplica(BaseReplica):
     """One PBFT replica (primary when ``view % n == replica_id``)."""
 
+    PROTO = "pbft"
+
     def __init__(
         self,
         sim,
@@ -268,7 +270,7 @@ class PbftReplica(BaseReplica):
             if cached is not None:
                 self.send(request.client_id, cached)
             return
-        result, _ = self.execute_op(request.op)
+        result, _ = self.execute_op(request.op, request=request)
         self.ops_executed += 1
         self.client_table[request.client_id] = (request.request_id, None)
         self._clear_request_timer(request)

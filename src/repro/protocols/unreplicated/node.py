@@ -9,6 +9,8 @@ from repro.protocols.messages import ClientReply, ClientRequest
 class UnreplicatedServer(BaseReplica):
     """Executes requests immediately; there is nothing to agree on."""
 
+    PROTO = "unreplicated"
+
     def __init__(self, sim, group: ReplicaGroup, app, crypto, pairwise, **kwargs):
         super().__init__(sim, 0, group, app, crypto, pairwise, **kwargs)
         self.ops_executed = 0
@@ -24,7 +26,7 @@ class UnreplicatedServer(BaseReplica):
             self.metrics.add("bad_auth")
             return
         self.remember_request(message)
-        result, _ = self.execute_op(message.op)
+        result, _ = self.execute_op(message.op, request=message)
         self.ops_executed += 1
         reply = ClientReply(
             view=0,
@@ -37,6 +39,8 @@ class UnreplicatedServer(BaseReplica):
 
 class UnreplicatedClient(BaseClient):
     """Sends to the single server; accepts its first valid reply."""
+
+    PROTO = "unreplicated"
 
     def __init__(self, sim, name, group, crypto, pairwise, **kwargs):
         super().__init__(sim, name, group, crypto, pairwise, reply_quorum=1, **kwargs)

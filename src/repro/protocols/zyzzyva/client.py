@@ -18,6 +18,8 @@ from repro.sim.clock import us
 class ZyzzyvaClient(BaseClient):
     """Closed-loop Zyzzyva client."""
 
+    PROTO = "zyzzyva"
+
     def __init__(
         self,
         sim,

@@ -28,6 +28,8 @@ class ZyzzyvaReplica(BaseReplica):
     that forces every request onto the two-phase client path).
     """
 
+    PROTO = "zyzzyva"
+
     def __init__(
         self,
         sim,
@@ -151,7 +153,7 @@ class ZyzzyvaReplica(BaseReplica):
             if cached is not None:
                 self.send(request.client_id, cached)
             return
-        result, _ = self.execute_op(request.op)
+        result, _ = self.execute_op(request.op, request=request)
         self.ops_executed += 1
         self.client_table[request.client_id] = (request.request_id, None)
         reply = ClientReply(

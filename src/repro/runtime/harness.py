@@ -9,6 +9,7 @@ from typing import Callable, Dict, List, Optional
 from repro.runtime.cluster import Cluster, ClusterOptions, build_cluster
 from repro.sim.clock import MICROSECOND, ms, secs
 from repro.sim.monitor import Histogram, RateMeter
+from repro.telemetry import MetricsSnapshot, Telemetry
 
 
 @dataclass
@@ -23,6 +24,8 @@ class RunResult:
     retries: int
     aborted: int = 0  # requests given up after exhausting their retries
     replica_metrics: Dict[str, int] = field(default_factory=dict)
+    # End-of-run telemetry snapshot (None when the run had no telemetry).
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def median_latency_us(self) -> float:
@@ -62,6 +65,7 @@ class Measurement:
         per_client_ops: Optional[Dict[int, Callable[[], bytes]]] = None,
         drain_step_ns: int = ms(2),
         drain_deadline_ns: int = ms(20),
+        telemetry: Optional[Telemetry] = None,
     ):
         if drain_step_ns <= 0:
             raise ValueError(f"drain_step_ns must be > 0, got {drain_step_ns!r}")
@@ -72,6 +76,9 @@ class Measurement:
         self.cluster = cluster
         self.warmup_ns = warmup_ns
         self.duration_ns = duration_ns
+        self.telemetry = telemetry
+        if telemetry is not None:
+            cluster.sim.telemetry = telemetry
         self.drain_step_ns = drain_step_ns
         self.drain_deadline_ns = drain_deadline_ns
         self.latency = Histogram("client-latency")
@@ -121,6 +128,9 @@ class Measurement:
             retries=sum(c.retries for c in self.cluster.clients),
             aborted=sum(c.aborted for c in self.cluster.clients),
             replica_metrics=merged_metrics,
+            metrics=(
+                self.telemetry.metrics.snapshot() if self.telemetry is not None else None
+            ),
         )
 
     def _drain(self) -> None:
@@ -149,10 +159,13 @@ def run_once(
     warmup_ns: int = ms(20),
     duration_ns: int = ms(100),
     next_op: Optional[Callable[[], bytes]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunResult:
     """Convenience: build + measure in one call."""
     cluster = build_cluster(options)
-    measurement = Measurement(cluster, warmup_ns, duration_ns, next_op)
+    measurement = Measurement(
+        cluster, warmup_ns, duration_ns, next_op, telemetry=telemetry
+    )
     return measurement.run()
 
 

@@ -9,8 +9,9 @@ interleaving produces one wrong log entry.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.clock import format_duration
 from repro.sim.engine import Simulator
@@ -37,7 +38,10 @@ class Tracer:
         self.sim = sim
         self.capacity = capacity
         self.enabled = False
-        self.events: List[TraceEvent] = []
+        # Ring buffer: at capacity the OLDEST event is evicted, so the
+        # transcript always ends with the most recent activity — the part
+        # you need when a long run fails at the end.
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
 
     def enable(self) -> None:
@@ -53,8 +57,7 @@ class Tracer:
         if not self.enabled:
             return
         if len(self.events) >= self.capacity:
-            self.dropped += 1
-            return
+            self.dropped += 1  # deque evicts the oldest on append below
         self.events.append(TraceEvent(self.sim.now, node, kind, detail, data))
 
     def select(
@@ -77,8 +80,10 @@ class Tracer:
             yield event
 
     def dump(self, limit: int = 100, **filters) -> str:
-        """Human-readable transcript slice."""
+        """Human-readable transcript slice; notes ring-buffer evictions."""
         lines = []
+        if self.dropped:
+            lines.append(f"... ({self.dropped} older events dropped)")
         for index, event in enumerate(self.select(**filters)):
             if index >= limit:
                 lines.append(f"... ({self.count(**filters) - limit} more)")

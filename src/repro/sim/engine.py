@@ -58,6 +58,10 @@ class Simulator:
     def __init__(self, seed: int = 0):
         self.now: int = 0
         self.streams = RandomStreams(seed)
+        # Optional repro.telemetry.Telemetry sink. Every instrumented
+        # layer reads this attribute and publishes only when it is set,
+        # so a run without telemetry pays one None check per hook.
+        self.telemetry = None
         self._heap: List[EventHandle] = []
         self._seq = 0
         self._events_processed = 0
@@ -127,6 +131,14 @@ class Simulator:
         else:
             if until is not None and self.now < until:
                 self.now = until
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.set_gauge("sim.virtual_time_ns", self.now)
+            tel.metrics.set_gauge("sim.events_processed", self._events_processed)
+            tel.metrics.set_gauge(
+                "sim.pending_events",
+                sum(1 for event in self._heap if not event.cancelled),
+            )
         return processed
 
     def run_for(self, duration: int, max_events: Optional[int] = None) -> int:

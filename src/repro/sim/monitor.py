@@ -8,6 +8,7 @@ throughput meters, and time series for failover timelines.
 from __future__ import annotations
 
 import bisect
+import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
 
@@ -80,8 +81,6 @@ class Histogram:
         self._ensure_sorted()
         if p == 0:
             return self._samples[0]
-        import math
-
         rank = max(1, math.ceil(p / 100.0 * len(self._samples)))
         return self._samples[min(rank - 1, len(self._samples) - 1)]
 
@@ -94,6 +93,29 @@ class Histogram:
         if not self._samples:
             raise ValueError(f"histogram {self.name!r} is empty")
         return sum(self._samples) / len(self._samples)
+
+    def stddev(self) -> float:
+        """Population standard deviation of samples."""
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        mean = self.mean()
+        variance = sum((s - mean) ** 2 for s in self._samples) / len(self._samples)
+        return math.sqrt(variance)
+
+    def summary(self) -> Dict[str, float]:
+        """count/mean/stddev/p50/p99/p99.9/max in one dict (the shape the
+        telemetry exporters serialize)."""
+        if not self._samples:
+            return {"count": 0}
+        return {
+            "count": len(self._samples),
+            "mean": self.mean(),
+            "stddev": self.stddev(),
+            "p50": float(self.percentile(50)),
+            "p99": float(self.percentile(99)),
+            "p999": float(self.percentile(99.9)),
+            "max": float(self.maximum()),
+        }
 
     def minimum(self) -> int:
         """Smallest sample."""
@@ -137,8 +159,15 @@ class RateMeter:
         self.total_completions = 0
 
     def open_window(self, now: int) -> None:
-        """Begin counting (call after warmup)."""
+        """Begin counting (call after warmup).
+
+        Reusable: reopening after a ``close_window`` clears the previous
+        window's end, so a meter can measure several disjoint windows
+        (e.g. before/after a failover) without a stale bound silently
+        discarding every completion of the new window.
+        """
         self.window_start = now
+        self.window_end = None
         self.completions = 0
 
     def close_window(self, now: int) -> None:
@@ -184,3 +213,33 @@ class TimeSeries:
     def between(self, start: int, end: int) -> List[Tuple[int, float]]:
         """Samples with start <= time <= end."""
         return [(t, v) for t, v in self.points if start <= t <= end]
+
+    def rate(self, window_ns: int) -> List[Tuple[int, float]]:
+        """Windowed per-second rate of a cumulative series.
+
+        Treats the recorded values as a monotone cumulative count (e.g.
+        total completions) sampled at arbitrary times, and returns
+        ``(window_end, rate_per_sec)`` for consecutive windows of
+        ``window_ns`` — the instantaneous-throughput curve a failover
+        plot needs. Values between samples follow step interpolation
+        (the count last observed at or before the window boundary).
+        """
+        if window_ns <= 0:
+            raise ValueError(f"window_ns must be > 0, got {window_ns!r}")
+        if len(self.points) < 2:
+            return []
+        times = [t for t, _ in self.points]
+
+        def value_at(time: int) -> float:
+            index = bisect.bisect_right(times, time) - 1
+            return self.points[index][1] if index >= 0 else self.points[0][1]
+
+        start, end = times[0], times[-1]
+        out: List[Tuple[int, float]] = []
+        window_start = start
+        while window_start < end:
+            window_end = min(window_start + window_ns, end)
+            delta = value_at(window_end) - value_at(window_start)
+            out.append((window_end, delta * 1e9 / (window_end - window_start)))
+            window_start += window_ns
+        return out

@@ -195,3 +195,11 @@ class PacketEngine:
     def saturation_rate_pps(self) -> float:
         """The engine's nominal capacity for unit-work packets."""
         return 1e9 / self.service_ns
+
+    def backlog_ns(self, now: int) -> int:
+        """Queueing delay a unit-work packet arriving now would see.
+
+        Zero when the engine is idle; how busy the HMAC pipe or FPGA
+        path currently is (telemetry reads this as an occupancy gauge).
+        """
+        return max(0, int(self._next_free) - now)

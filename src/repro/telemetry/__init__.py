@@ -1,0 +1,100 @@
+"""Unified telemetry: labeled metrics, causal request spans, exporters.
+
+One :class:`Telemetry` object is attached to a simulator as
+``sim.telemetry`` (default ``None``). Every instrumented layer guards
+its publishing on that attribute::
+
+    tel = self.sim.telemetry
+    if tel is not None:
+        tel.metrics.inc("net.packets", event="delivered")
+
+so a disabled run pays one attribute read and a None check per hook —
+nothing is allocated, formatted, or stored. Publishing never schedules
+events, charges CPU, or draws randomness, so enabling telemetry cannot
+change what a deterministic run does; it only watches.
+
+The usual entry point is the harness knob::
+
+    from repro.telemetry import Telemetry
+    result = run_once(options, telemetry=Telemetry())
+    result.metrics.counter("aom.delivered", node="replica-0")
+
+See ``docs/observability.md`` for the metric catalog and span semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TextIO
+
+from repro.telemetry.metrics import (
+    MetricKey,
+    MetricsRegistry,
+    MetricsSnapshot,
+    format_key,
+    metric_key,
+)
+from repro.telemetry.spans import (
+    CATEGORIES,
+    Span,
+    SpanRecorder,
+    TraceDecomposition,
+    TraceKey,
+    build_tree,
+    decompose_all,
+    decompose_trace,
+    median_decomposition,
+    trace_key_of,
+)
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "MetricKey",
+    "metric_key",
+    "format_key",
+    "Span",
+    "SpanRecorder",
+    "TraceKey",
+    "TraceDecomposition",
+    "CATEGORIES",
+    "trace_key_of",
+    "build_tree",
+    "decompose_trace",
+    "decompose_all",
+    "median_decomposition",
+]
+
+
+class Telemetry:
+    """Facade bundling one run's metrics registry and span recorder."""
+
+    def __init__(self, spans: bool = True, span_capacity: int = 1_000_000):
+        self.metrics = MetricsRegistry()
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder(capacity=span_capacity) if spans else None
+        )
+
+    def span_list(self) -> List[Span]:
+        """All recorded spans (empty when span recording is off)."""
+        return [] if self.spans is None else list(self.spans.spans)
+
+    # ------------------------------------------------------------- exports
+
+    def write_chrome_trace(self, fp: TextIO) -> None:
+        """Chrome trace-event JSON of every recorded span."""
+        from repro.telemetry.exporters import write_chrome_trace
+
+        write_chrome_trace(self.span_list(), fp)
+
+    def write_prometheus(self, fp: TextIO) -> None:
+        """Prometheus text snapshot of the metrics registry."""
+        from repro.telemetry.exporters import to_prometheus
+
+        fp.write(to_prometheus(self.metrics.snapshot()))
+
+    def write_spans_jsonl(self, fp: TextIO) -> int:
+        """JSONL span dump (input of ``python -m repro.telemetry.report``)."""
+        from repro.telemetry.exporters import spans_to_jsonl
+
+        return spans_to_jsonl(self.span_list(), fp)

@@ -1,0 +1,140 @@
+"""Labeled metrics: counters, gauges, and histograms with label sets.
+
+A :class:`MetricsRegistry` is the single sink every layer publishes into
+when telemetry is enabled. Instruments are addressed by a metric *name*
+plus a set of ``key=value`` labels (``net.packets{event=sent}``,
+``replica.exec_cost_ns{proto=neobft}``), created lazily on first use so
+call sites stay one-liners.
+
+Layer naming convention (the exporters and the smoke bench rely on it):
+
+- ``sim.*``       discrete-event engine (events processed, pending heap)
+- ``net.*``       fabric and host NICs (packet outcomes, queue depth)
+- ``switch.*``    in-network processing (HMAC pipe backlog, FPGA stock)
+- ``aom.*``       libAOM sender/receiver (multicasts, deliveries, drops)
+- ``replica.*`` / ``client.*``   protocol layer (all five families)
+
+The registry itself never touches the simulator: publishing is pure
+bookkeeping, so enabling telemetry cannot perturb an execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.monitor import Histogram
+
+#: A fully-resolved instrument identity: (name, sorted (label, value) pairs).
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def metric_key(name: str, labels: Dict[str, str]) -> MetricKey:
+    """Canonical dictionary key for one instrument."""
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def format_key(key: MetricKey) -> str:
+    """Human-readable ``name{k=v,...}`` rendering."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Lazily-created labeled instruments, one registry per run."""
+
+    def __init__(self):
+        self._counters: Dict[MetricKey, float] = {}
+        self._gauges: Dict[MetricKey, float] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+
+    # ------------------------------------------------------------- publish
+
+    def inc(self, name: str, amount: float = 1, **labels: str) -> None:
+        """Increment a counter (created at 0 on first use)."""
+        key = metric_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a gauge to its latest observed value."""
+        self._gauges[metric_key(name, labels)] = value
+
+    def observe(self, name: str, value: int, **labels: str) -> None:
+        """Record one histogram sample."""
+        key = metric_key(name, labels)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = Histogram(format_key(key))
+            self._histograms[key] = hist
+        hist.record(value)
+
+    # --------------------------------------------------------------- query
+
+    def counter_value(self, name: str, default: float = 0, **labels: str) -> float:
+        """Current value of one counter."""
+        return self._counters.get(metric_key(name, labels), default)
+
+    def gauge_value(self, name: str, default: Optional[float] = None, **labels: str) -> Optional[float]:
+        """Latest value of one gauge (``default`` if never set)."""
+        return self._gauges.get(metric_key(name, labels), default)
+
+    def histogram(self, name: str, **labels: str) -> Optional[Histogram]:
+        """The underlying histogram instrument, if any samples exist."""
+        return self._histograms.get(metric_key(name, labels))
+
+    def names(self) -> List[str]:
+        """Every distinct metric name published so far, sorted."""
+        seen = {key[0] for key in self._counters}
+        seen.update(key[0] for key in self._gauges)
+        seen.update(key[0] for key in self._histograms)
+        return sorted(seen)
+
+    # ------------------------------------------------------------ snapshot
+
+    def snapshot(self) -> "MetricsSnapshot":
+        """Immutable view of every instrument (histograms as summaries)."""
+        return MetricsSnapshot(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            histograms={
+                key: hist.summary() for key, hist in self._histograms.items() if len(hist)
+            },
+        )
+
+
+@dataclass
+class MetricsSnapshot:
+    """Point-in-time copy of a registry, attached to ``RunResult``."""
+
+    counters: Dict[MetricKey, float] = field(default_factory=dict)
+    gauges: Dict[MetricKey, float] = field(default_factory=dict)
+    # name -> Histogram.summary() dict (count/mean/p50/p99/p999/max/...)
+    histograms: Dict[MetricKey, Dict[str, float]] = field(default_factory=dict)
+
+    def counter(self, name: str, default: float = 0, **labels: str) -> float:
+        return self.counters.get(metric_key(name, labels), default)
+
+    def gauge(self, name: str, default: Optional[float] = None, **labels: str) -> Optional[float]:
+        return self.gauges.get(metric_key(name, labels), default)
+
+    def histogram_summary(self, name: str, **labels: str) -> Optional[Dict[str, float]]:
+        return self.histograms.get(metric_key(name, labels))
+
+    def names(self) -> List[str]:
+        seen = {key[0] for key in self.counters}
+        seen.update(key[0] for key in self.gauges)
+        seen.update(key[0] for key in self.histograms)
+        return sorted(seen)
+
+    def names_with_prefix(self, prefix: str) -> List[str]:
+        """Metric names under one layer prefix (e.g. ``"net."``)."""
+        return [name for name in self.names() if name.startswith(prefix)]
+
+    def sum_counters(self, name: str) -> float:
+        """Sum of one counter across every label combination."""
+        return sum(v for (n, _), v in self.counters.items() if n == name)

@@ -1,0 +1,122 @@
+"""Latency-decomposition report over a JSONL span dump.
+
+Usage::
+
+    python -m repro.telemetry.report spans.jsonl
+    python -m repro.telemetry.report spans.jsonl --trace 101 7   # one request
+
+Reads a span dump produced by :meth:`Telemetry.write_spans_jsonl`,
+decomposes every completed request's end-to-end latency into
+network / sequencer / crypto / quorum-wait segments, and prints the
+median request's breakdown plus aggregate shares. The segment sum of
+the printed breakdown equals that request's end-to-end latency exactly
+(the decomposition attributes every nanosecond once).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.sim.clock import format_duration
+from repro.telemetry.exporters import load_spans_jsonl
+from repro.telemetry.spans import (
+    CATEGORIES,
+    Span,
+    TraceDecomposition,
+    decompose_all,
+    decompose_trace,
+)
+
+
+def format_decomposition(decomposition: TraceDecomposition) -> str:
+    """One request's breakdown as an aligned table."""
+    lines = [
+        f"trace (client={decomposition.trace[0]}, request={decomposition.trace[1]})",
+        f"{'segment':<12} {'time':>12} {'share':>8}",
+    ]
+    total = 0
+    for category in CATEGORIES:
+        duration = decomposition.segments.get(category, 0)
+        if duration == 0:
+            continue
+        total += duration
+        lines.append(
+            f"{category:<12} {format_duration(duration):>12} "
+            f"{100 * decomposition.share(category):7.1f}%"
+        )
+    lines.append(f"{'total':<12} {format_duration(total):>12} {100.0:7.1f}%")
+    return "\n".join(lines)
+
+
+def format_report(spans: List[Span], trace: Optional[tuple] = None) -> str:
+    """Full report text: either one named trace, or median + aggregates."""
+    if trace is not None:
+        matching = [span for span in spans if tuple(span.trace) == trace]
+        decomposition = decompose_trace(matching)
+        if decomposition is None:
+            return f"no completed request for trace {trace}"
+        return format_decomposition(decomposition)
+
+    decompositions = decompose_all(spans)
+    if not decompositions:
+        return "no completed requests in span dump"
+    ordered = sorted(decompositions, key=lambda d: d.total)
+    median = ordered[(len(ordered) - 1) // 2]
+    totals: Dict[str, int] = {}
+    grand_total = 0
+    for decomposition in decompositions:
+        grand_total += decomposition.total
+        for category, duration in decomposition.segments.items():
+            totals[category] = totals.get(category, 0) + duration
+    lines = [
+        f"requests: {len(decompositions)}   "
+        f"latency p50={format_duration(median.total)} "
+        f"min={format_duration(ordered[0].total)} "
+        f"max={format_duration(ordered[-1].total)}",
+        "",
+        "median request breakdown:",
+        format_decomposition(median),
+        "",
+        "aggregate share across all requests:",
+        f"{'segment':<12} {'time':>12} {'share':>8}",
+    ]
+    for category in CATEGORIES:
+        duration = totals.get(category, 0)
+        if duration == 0:
+            continue
+        lines.append(
+            f"{category:<12} {format_duration(duration):>12} "
+            f"{100 * duration / grand_total:7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Print a latency-decomposition table from a JSONL span dump.",
+    )
+    parser.add_argument("dump", help="path to a JSONL span dump")
+    parser.add_argument(
+        "--trace",
+        nargs=2,
+        type=int,
+        metavar=("CLIENT", "REQUEST"),
+        help="decompose one request instead of the whole run",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.dump) as fp:
+            spans = load_spans_jsonl(fp)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    trace = tuple(args.trace) if args.trace else None
+    print(format_report(spans, trace))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@ class TestTracerCore:
     def test_disabled_records_nothing(self):
         tracer = Tracer(Simulator())
         tracer.record("n", "kind", "detail")
-        assert tracer.events == []
+        assert list(tracer.events) == []
 
     def test_enabled_records(self):
         sim = Simulator()
@@ -20,13 +20,16 @@ class TestTracerCore:
         assert tracer.count() == 1
         assert tracer.events[0].time == sim.now
 
-    def test_capacity_bound(self):
+    def test_capacity_bound_drops_oldest(self):
         tracer = Tracer(Simulator(), capacity=3)
         tracer.enable()
         for i in range(5):
             tracer.record("n", "k", str(i))
         assert len(tracer.events) == 3
         assert tracer.dropped == 2
+        # Ring buffer: the newest events survive, the oldest are evicted.
+        assert [e.detail for e in tracer.events] == ["2", "3", "4"]
+        assert "2 older events dropped" in tracer.dump()
 
     def test_filters(self):
         tracer = Tracer(Simulator())

@@ -111,6 +111,21 @@ class TestRateMeter:
         meter.record(11)
         assert meter.total_completions == 2
 
+    def test_reusable_across_windows(self):
+        meter = RateMeter()
+        meter.open_window(0)
+        meter.record(500)
+        meter.close_window(1000)
+        assert meter.throughput_per_sec() == pytest.approx(1e9 / 1000)
+        # Reopening must clear the old window_end, or every completion in
+        # the second window lands after the stale bound and is discarded.
+        meter.open_window(2000)
+        meter.record(2100)
+        meter.record(2200)
+        meter.close_window(3000)
+        assert meter.completions == 2
+        assert meter.throughput_per_sec() == pytest.approx(2 * 1e9 / 1000)
+
 
 class TestTimeSeries:
     def test_records_in_order(self):
@@ -130,3 +145,32 @@ class TestTimeSeries:
         for t in range(10):
             series.record(t, float(t))
         assert series.between(3, 6) == [(3, 3.0), (4, 4.0), (5, 5.0), (6, 6.0)]
+
+    def test_rate_constant_slope(self):
+        series = TimeSeries()
+        # Cumulative count rising by 1 per 100ns -> 1e7 per second.
+        for i in range(11):
+            series.record(i * 100, float(i))
+        rates = series.rate(500)
+        assert [t for t, _ in rates] == [500, 1000]
+        for _, rate in rates:
+            assert rate == pytest.approx(5 * 1e9 / 500)
+
+    def test_rate_sees_a_stall(self):
+        series = TimeSeries()
+        series.record(0, 0.0)
+        series.record(100, 10.0)
+        series.record(1000, 10.0)  # flat: an outage window
+        series.record(1100, 20.0)
+        rates = dict(series.rate(500))
+        assert rates[500] > 0
+        assert rates[1000] == 0.0  # the stall shows up as zero throughput
+        assert rates[1100] > 0
+
+    def test_rate_degenerate_inputs(self):
+        series = TimeSeries()
+        assert series.rate(100) == []
+        series.record(0, 1.0)
+        assert series.rate(100) == []
+        with pytest.raises(ValueError):
+            series.record(10, 2.0) or series.rate(0)
