@@ -14,10 +14,10 @@ Not paper figures — these isolate mechanisms the paper's design rests on:
 import pytest
 
 from repro.runtime import ClusterOptions
-from repro.runtime.harness import run_once
+from repro.runtime.harness import run_once, run_points
 from repro.sim.clock import ms
 
-from benchmarks.bench_common import fmt_row, report
+from benchmarks.bench_common import fmt_row, report, sweep_workers
 
 
 def test_ablation_pk_chain_batch_verification(benchmark):
@@ -68,14 +68,15 @@ def test_ablation_pk_chain_batch_verification(benchmark):
 
 def test_ablation_pbft_batch_cap(benchmark):
     def sweep():
-        results = []
-        for cap in (1, 4, 16, 64):
-            result = run_once(
-                ClusterOptions(protocol="pbft", num_clients=64, seed=7, batch_size=cap),
-                warmup_ns=ms(2), duration_ns=ms(7),
-            )
-            results.append((cap, result))
-        return results
+        caps = (1, 4, 16, 64)
+        points = [
+            ClusterOptions(protocol="pbft", num_clients=64, seed=7, batch_size=cap)
+            for cap in caps
+        ]
+        results = run_points(
+            points, warmup_ns=ms(2), duration_ns=ms(7), workers=sweep_workers()
+        )
+        return list(zip(caps, results))
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     widths = [10, 14, 12]
@@ -96,17 +97,18 @@ def test_ablation_pbft_batch_cap(benchmark):
 
 def test_ablation_neobft_sync_interval(benchmark):
     def sweep():
-        results = []
-        for interval in (32, 256, 2048):
-            result = run_once(
-                ClusterOptions(
-                    protocol="neobft-hm", num_clients=64, seed=7,
-                    replica_kwargs={"sync_interval": interval},
-                ),
-                warmup_ns=ms(2), duration_ns=ms(7),
+        intervals = (32, 256, 2048)
+        points = [
+            ClusterOptions(
+                protocol="neobft-hm", num_clients=64, seed=7,
+                replica_kwargs={"sync_interval": interval},
             )
-            results.append((interval, result))
-        return results
+            for interval in intervals
+        ]
+        results = run_points(
+            points, warmup_ns=ms(2), duration_ns=ms(7), workers=sweep_workers()
+        )
+        return list(zip(intervals, results))
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     widths = [10, 14, 14]

@@ -19,6 +19,20 @@ from typing import Iterable, List
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def sweep_workers() -> int:
+    """Worker processes for parallel sweeps (``REPRO_SWEEP_WORKERS`` wins).
+
+    Sweep points are independent seeded simulations, so parallel results
+    are bit-identical to serial (asserted by the determinism tests) and
+    benches enable parallelism unconditionally. Set ``REPRO_SWEEP_WORKERS=1``
+    to force serial execution, e.g. when profiling a single process.
+    """
+    override = os.environ.get("REPRO_SWEEP_WORKERS")
+    if override:
+        return max(1, int(override))
+    return min(4, os.cpu_count() or 1)
+
+
 def report(name: str, lines: Iterable[str]) -> None:
     """Print a result block and persist it under benchmarks/results/."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

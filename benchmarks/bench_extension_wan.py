@@ -12,23 +12,22 @@ import pytest
 
 from repro.net.profiles import WAN_PROFILE
 from repro.runtime import ClusterOptions
-from repro.runtime.harness import run_once
+from repro.runtime.harness import run_points
 from repro.sim.clock import ms
 
-from benchmarks.bench_common import fmt_row, report
+from benchmarks.bench_common import fmt_row, report, sweep_workers
 
 
 def run_all():
-    results = {}
-    for protocol in ("neobft-hm", "pbft", "zyzzyva"):
-        results[protocol] = run_once(
-            ClusterOptions(
-                protocol=protocol, num_clients=16, seed=7, profile=WAN_PROFILE,
-            ),
-            warmup_ns=ms(5),
-            duration_ns=ms(60),
-        )
-    return results
+    protocols = ("neobft-hm", "pbft", "zyzzyva")
+    points = [
+        ClusterOptions(protocol=protocol, num_clients=16, seed=7, profile=WAN_PROFILE)
+        for protocol in protocols
+    ]
+    results = run_points(
+        points, warmup_ns=ms(5), duration_ns=ms(60), workers=sweep_workers()
+    )
+    return dict(zip(protocols, results))
 
 
 def test_extension_wan_latency(benchmark):

@@ -16,7 +16,7 @@ import pytest
 from repro.runtime import ClusterOptions, latency_throughput_sweep
 from repro.sim.clock import ms
 
-from benchmarks.bench_common import fmt_row, knee, report
+from benchmarks.bench_common import fmt_row, knee, report, sweep_workers
 
 SWEEPS = [
     ("unreplicated", {}, [1, 8, 32, 96]),
@@ -37,7 +37,8 @@ def run_all():
         protocol = "zyzzyva" if label == "zyzzyva-f" else label
         base = ClusterOptions(protocol=protocol, seed=7, **extra)
         curves[label] = latency_throughput_sweep(
-            base, counts, warmup_ns=ms(3), duration_ns=ms(12)
+            base, counts, warmup_ns=ms(3), duration_ns=ms(12),
+            workers=sweep_workers(),
         )
     return curves
 

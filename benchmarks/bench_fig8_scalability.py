@@ -13,10 +13,10 @@ Scaling note: 10 closed-loop clients, 8 ms windows; replica counts
 import pytest
 
 from repro.runtime import ClusterOptions
-from repro.runtime.harness import run_once
+from repro.runtime.harness import run_points
 from repro.sim.clock import ms
 
-from benchmarks.bench_common import fmt_row, report
+from benchmarks.bench_common import fmt_row, report, sweep_workers
 
 HM_SIZES = [4, 16, 40, 64]
 PK_SIZES = [4, 16, 40, 64, 100]
@@ -32,19 +32,25 @@ def clients_for(n: int) -> int:
 
 
 def run_all():
+    plan = [
+        (protocol, n)
+        for protocol, sizes in (("neobft-hm", HM_SIZES), ("neobft-pk", PK_SIZES))
+        for n in sizes
+    ]
+    points = [
+        ClusterOptions(
+            protocol=protocol, num_replicas=n, f=(n - 1) // 3,
+            num_clients=clients_for(n), seed=7,
+        )
+        for protocol, n in plan
+    ]
+    results = run_points(
+        points, warmup_ns=ms(1), duration_ns=ms(DURATION_MS),
+        workers=sweep_workers(),
+    )
     series = {"neobft-hm": [], "neobft-pk": []}
-    for protocol, sizes in (("neobft-hm", HM_SIZES), ("neobft-pk", PK_SIZES)):
-        for n in sizes:
-            f = (n - 1) // 3
-            result = run_once(
-                ClusterOptions(
-                    protocol=protocol, num_replicas=n, f=f,
-                    num_clients=clients_for(n), seed=7,
-                ),
-                warmup_ns=ms(1),
-                duration_ns=ms(DURATION_MS),
-            )
-            series[protocol].append((n, result.throughput_ops))
+    for (protocol, n), result in zip(plan, results):
+        series[protocol].append((n, result.throughput_ops))
     return series
 
 

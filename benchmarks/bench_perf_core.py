@@ -1,0 +1,210 @@
+"""Core simulator performance benchmark (the fast-path scorecard).
+
+Measures wall-clock events/sec of the event core on the Figure 7 echo
+workload (NeoBFT-HM, closed-loop clients) in two configurations:
+
+- **fastpath**: defaults — timer wheel on, crypto/wire memoization on;
+- **slowpath**: ``sim_kwargs={"timer_wheel": False}`` and all fastpath
+  caches disabled. Executions are bit-identical either way (asserted
+  here and in ``tests/test_perf_fastpath.py``); only wall-clock differs.
+
+Also times a ``run_sweep`` serial vs parallel (``workers=4``) to report
+the multi-process speedup, and checks the parallel results are
+result-for-result identical to serial.
+
+Results land in ``benchmarks/results/BENCH_core.json`` keyed by mode
+(``full`` or ``--quick``). When a committed JSON already has a section
+for the current mode, the run compares against it and prints a
+non-blocking ``::warning::`` if events/sec regressed by more than 20%
+— the exit code stays 0 so CI never hard-fails on a noisy runner.
+
+Run it::
+
+    PYTHONPATH=src python -m benchmarks.bench_perf_core [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro import fastpath
+from repro.runtime import ClusterOptions, run_sweep
+from repro.runtime.cluster import build_cluster
+from repro.runtime.harness import Measurement
+from repro.sim.clock import ms
+
+from benchmarks.bench_common import RESULTS_DIR
+
+RESULT_PATH = os.path.join(RESULTS_DIR, "BENCH_core.json")
+
+#: Single-process events/sec of the event core *before* this fast path
+#: landed (commit 131026c), measured on the same workloads/hardware
+#: class as this bench. The acceptance target is >= 2x these numbers.
+PRE_PR_BASELINE = {
+    "full": {"events_per_sec": 8317, "ns_per_event": 120234},
+    "quick": {"events_per_sec": 9153, "ns_per_event": 109254},
+}
+
+REGRESSION_WARN_FRACTION = 0.20
+
+MODES = {
+    # (num_clients, warmup_ns, duration_ns, sweep client_counts, sweep seeds)
+    "full": (32, ms(3), ms(12), [8, 32], [7, 11]),
+    "quick": (8, ms(1), ms(4), [4, 8], [7]),
+}
+
+
+def _measure_core(options: ClusterOptions, warmup_ns: int, duration_ns: int):
+    """One timed run; returns (events_processed, wallclock_sec, RunResult)."""
+    cluster = build_cluster(options)
+    measurement = Measurement(cluster, warmup_ns=warmup_ns, duration_ns=duration_ns)
+    start = time.perf_counter()
+    result = measurement.run()
+    elapsed = time.perf_counter() - start
+    return cluster.sim.events_processed, elapsed, result
+
+
+def _rate_block(events: int, elapsed: float) -> dict:
+    return {
+        "events": events,
+        "wallclock_sec": round(elapsed, 4),
+        "events_per_sec": round(events / elapsed, 1),
+        "ns_per_event": round(elapsed / events * 1e9, 1),
+    }
+
+
+def run_mode(mode: str) -> dict:
+    clients, warmup_ns, duration_ns, sweep_counts, sweep_seeds = MODES[mode]
+    base = ClusterOptions(protocol="neobft-hm", seed=7, num_clients=clients)
+
+    # Slow path: no timer wheel, no memoization.
+    fastpath.set_caches_enabled(False)
+    fastpath.clear_caches()
+    slow_events, slow_elapsed, slow_result = _measure_core(
+        ClusterOptions(
+            protocol="neobft-hm", seed=7, num_clients=clients,
+            sim_kwargs={"timer_wheel": False},
+        ),
+        warmup_ns, duration_ns,
+    )
+
+    # Fast path: defaults. Clear caches first so hit rates reflect one run.
+    fastpath.set_caches_enabled(True)
+    fastpath.clear_caches()
+    fastpath.reset_cache_stats()
+    fast_events, fast_elapsed, fast_result = _measure_core(base, warmup_ns, duration_ns)
+    cache_stats = {
+        name: {
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "hit_rate": round(stats["hit_rate"], 4),
+        }
+        for name, stats in fastpath.cache_stats().items()
+    }
+
+    identical = slow_events == fast_events and slow_result == fast_result
+
+    # Sweep: serial vs worker processes over the same points. Speedup is
+    # bounded by the core count — on a 1-core host the pool only proves
+    # determinism (identical results) while paying spawn overhead, so the
+    # JSON records cpu_count next to the ratio.
+    cpu_count = os.cpu_count() or 1
+    workers = min(4, max(2, cpu_count))
+    serial_start = time.perf_counter()
+    serial = run_sweep(
+        base, sweep_counts, warmup_ns=warmup_ns, duration_ns=duration_ns,
+        seeds=sweep_seeds, workers=1,
+    )
+    serial_elapsed = time.perf_counter() - serial_start
+    parallel_start = time.perf_counter()
+    parallel = run_sweep(
+        base, sweep_counts, warmup_ns=warmup_ns, duration_ns=duration_ns,
+        seeds=sweep_seeds, workers=workers,
+    )
+    parallel_elapsed = time.perf_counter() - parallel_start
+
+    baseline = PRE_PR_BASELINE[mode]
+    return {
+        "workload": {
+            "protocol": "neobft-hm", "seed": 7, "num_clients": clients,
+            "warmup_ms": warmup_ns // ms(1), "duration_ms": duration_ns // ms(1),
+        },
+        "fastpath": _rate_block(fast_events, fast_elapsed),
+        "slowpath": _rate_block(slow_events, slow_elapsed),
+        "pre_pr_baseline": baseline,
+        "speedup_vs_pre_pr": round(fast_events / fast_elapsed / baseline["events_per_sec"], 2),
+        "speedup_vs_slowpath": round(
+            (fast_events / fast_elapsed) / (slow_events / slow_elapsed), 2
+        ),
+        "fast_slow_identical": identical,
+        "cache_stats": cache_stats,
+        "sweep": {
+            "points": len(serial),
+            "serial_sec": round(serial_elapsed, 4),
+            "parallel_sec": round(parallel_elapsed, 4),
+            "speedup": round(serial_elapsed / parallel_elapsed, 2),
+            "workers": workers,
+            "cpu_count": cpu_count,
+            "identical": serial == parallel,
+        },
+    }
+
+
+def check_regression(previous: dict, current: dict, mode: str) -> None:
+    """Warn (never fail) when events/sec fell >20% vs the committed run."""
+    prior = previous.get(mode, {}).get("fastpath", {}).get("events_per_sec")
+    if not prior:
+        print(f"[bench_perf_core] no committed {mode} baseline; skipping regression check")
+        return
+    now = current["fastpath"]["events_per_sec"]
+    if now < prior * (1.0 - REGRESSION_WARN_FRACTION):
+        print(
+            f"::warning::bench_perf_core {mode} events/sec regressed: "
+            f"{now:,.0f} vs committed {prior:,.0f} "
+            f"(-{(1 - now / prior) * 100:.0f}%, threshold {REGRESSION_WARN_FRACTION:.0%})"
+        )
+    else:
+        print(
+            f"[bench_perf_core] {mode} events/sec {now:,.0f} vs committed "
+            f"{prior:,.0f} — within threshold"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small CI configuration (8 clients, 4 ms window)",
+    )
+    args = parser.parse_args(argv)
+    mode = "quick" if args.quick else "full"
+
+    existing: dict = {}
+    if os.path.exists(RESULT_PATH):
+        with open(RESULT_PATH) as handle:
+            existing = json.load(handle)
+
+    section = run_mode(mode)
+    check_regression(existing, section, mode)
+    existing[mode] = section
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(RESULT_PATH, "w") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"\n===== BENCH_core ({mode}) =====")
+    print(json.dumps(section, indent=2, sort_keys=True))
+    print(f"\nwritten to {RESULT_PATH}")
+
+    if not section["fast_slow_identical"] or not section["sweep"]["identical"]:
+        print("::error::fast/slow or serial/parallel executions diverged")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

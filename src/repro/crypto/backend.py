@@ -28,7 +28,8 @@ from typing import Dict, Optional, Tuple
 from repro.crypto.costmodel import CostModel
 from repro.crypto.digests import sha256_digest
 from repro.crypto.ecdsa import PrivateKey, PublicKey
-from repro.crypto.siphash import siphash24
+from repro.crypto.siphash import halfsiphash24, siphash24
+from repro.fastpath import get_cache
 
 
 @dataclass(frozen=True)
@@ -123,6 +124,14 @@ class RealBackend(SignatureBackend):
         return public.verify(sha256_digest(data), (r, s))
 
 
+#: Sign-then-verify pairs recompute the same tag: the signer's tag is the
+#: verifier's expected value, so verifies hit what sign stored (and quorum
+#: re-verifies hit again). Keyed on (secret, data) — the secret already
+#: encodes both the signer identity and the backend's seed, so distinct
+#: backends sharing this process-global cache cannot collide.
+_FASTSIGN_CACHE = get_cache("fastsign", maxsize=1 << 15)
+
+
 class FastBackend(SignatureBackend):
     """Simulation-grade signatures: SipHash tags under authority-held secrets."""
 
@@ -140,17 +149,26 @@ class FastBackend(SignatureBackend):
                 self._seed + b"/identity/" + node_id.to_bytes(8, "big")
             ).digest()[:16]
 
+    @staticmethod
+    def _tag(secret: bytes, data: bytes) -> bytes:
+        cache = _FASTSIGN_CACHE
+        if not cache.enabled:
+            return siphash24(secret, data) + siphash24(secret[::-1], data)
+        key = (secret, data)
+        tag = cache.lookup(key)
+        if tag is None:
+            tag = siphash24(secret, data) + siphash24(secret[::-1], data)
+            cache.store(key, tag)
+        return tag
+
     def sign(self, node_id: int, data: bytes) -> Signature:
-        secret = self._secrets[node_id]
-        tag = siphash24(secret, data) + siphash24(secret[::-1], data)
-        return Signature(node_id, tag, self.name)
+        return Signature(node_id, self._tag(self._secrets[node_id], data), self.name)
 
     def verify(self, signature: Signature, data: bytes) -> bool:
         secret = self._secrets.get(signature.signer_id)
         if secret is None or signature.scheme != self.name:
             return False
-        expected = siphash24(secret, data) + siphash24(secret[::-1], data)
-        return signature.payload == expected
+        return signature.payload == self._tag(secret, data)
 
 
 class CryptoContext:
@@ -253,10 +271,7 @@ class CryptoContext:
         """Symmetric MAC tag with cost accounting."""
         self._count("mac")
         self._bill(self.cost.hmac_ns)
-        key8 = key[:8].ljust(8, b"\x00")
-        from repro.crypto.siphash import halfsiphash24
-
-        return halfsiphash24(key8, data)
+        return halfsiphash24(key[:8].ljust(8, b"\x00"), data)
 
     def verify_mac(self, key: bytes, data: bytes, tag: bytes) -> bool:
         """Verify a MAC tag with cost accounting."""

@@ -96,13 +96,93 @@ def _sipround32(v0: int, v1: int, v2: int, v3: int):
     return v0, v1, v2, v3
 
 
+from repro.fastpath import get_cache
+
+#: Tags are recomputed at every verify site (sender MACs, receiver checks
+#: the same (key, data) pair), so roughly half of all one-shot calls are
+#: repeats — served from here.
+_HMAC_CACHE = get_cache("hmac", maxsize=1 << 15)
+
+
 def halfsiphash24(key: bytes, data: bytes) -> bytes:
     """HalfSipHash-2-4: 8-byte ``key``, arbitrary ``data`` -> 4-byte tag."""
     if len(key) != 8:
         raise ValueError("HalfSipHash-2-4 requires an 8-byte key")
-    state = HalfSipHashState(key)
-    state.absorb(data)
-    return state.finalize()
+    cache = _HMAC_CACHE
+    if not cache.enabled:
+        return _halfsiphash24_raw(key, data)
+    cache_key = (key, data)
+    tag = cache.lookup(cache_key)
+    if tag is None:
+        tag = _halfsiphash24_raw(key, data)
+        cache.store(cache_key, tag)
+    return tag
+
+
+def _halfsiphash24_raw(key: bytes, data: bytes) -> bytes:
+    """One-shot HalfSipHash-2-4 with the round function unrolled inline.
+
+    Byte-identical to driving :class:`HalfSipHashState` (the property
+    tests cross-check the two); kept separate because the one-shot path
+    runs millions of times per simulation while the state machine exists
+    to mirror the hardware pipeline pass-by-pass.
+    """
+    k0 = int.from_bytes(key[:4], "little")
+    k1 = int.from_bytes(key[4:], "little")
+    v0 = k0
+    v1 = k1
+    v2 = 0x6C796765 ^ k0
+    v3 = 0x74656463 ^ k1
+    mask = _MASK32
+    length = len(data)
+    end = length - (length % 4)
+    offset = 0
+    while True:
+        if offset < end:
+            m = int.from_bytes(data[offset : offset + 4], "little")
+            offset += 4
+            final = False
+        else:
+            m = ((length & 0xFF) << 24) | int.from_bytes(
+                data[end:].ljust(3, b"\x00")[:3], "little"
+            )
+            final = True
+        v3 ^= m
+        for _ in range(2):  # C_ROUNDS
+            v0 = (v0 + v1) & mask
+            v1 = ((v1 << 5) | (v1 >> 27)) & mask
+            v1 ^= v0
+            v0 = ((v0 << 16) | (v0 >> 16)) & mask
+            v2 = (v2 + v3) & mask
+            v3 = ((v3 << 8) | (v3 >> 24)) & mask
+            v3 ^= v2
+            v0 = (v0 + v3) & mask
+            v3 = ((v3 << 7) | (v3 >> 25)) & mask
+            v3 ^= v0
+            v2 = (v2 + v1) & mask
+            v1 = ((v1 << 13) | (v1 >> 19)) & mask
+            v1 ^= v2
+            v2 = ((v2 << 16) | (v2 >> 16)) & mask
+        v0 ^= m
+        if final:
+            break
+    v2 ^= 0xFF
+    for _ in range(4):  # D_ROUNDS
+        v0 = (v0 + v1) & mask
+        v1 = ((v1 << 5) | (v1 >> 27)) & mask
+        v1 ^= v0
+        v0 = ((v0 << 16) | (v0 >> 16)) & mask
+        v2 = (v2 + v3) & mask
+        v3 = ((v3 << 8) | (v3 >> 24)) & mask
+        v3 ^= v2
+        v0 = (v0 + v3) & mask
+        v3 = ((v3 << 7) | (v3 >> 25)) & mask
+        v3 ^= v0
+        v2 = (v2 + v1) & mask
+        v1 = ((v1 << 13) | (v1 >> 19)) & mask
+        v1 ^= v2
+        v2 = ((v2 << 16) | (v2 >> 16)) & mask
+    return ((v1 ^ v3) & mask).to_bytes(4, "little")
 
 
 class HalfSipHashState:

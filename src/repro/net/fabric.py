@@ -114,6 +114,14 @@ class Fabric:
         self._duplicators: List[DuplicateInjector] = []
         self._reorderers: List[ReorderInjector] = []
         self._last_arrival: Dict[Tuple[int, int], int] = {}
+        # The FIFO watermark for a (src, dst) pair only matters while a
+        # packet for that pair is still in flight: any future arrival is
+        # computed at > sim.now, so entries whose watermark has passed can
+        # never clamp again. They are swept periodically so long runs with
+        # churning address pairs (chaos campaigns, large sweeps) keep the
+        # map bounded instead of growing one entry per pair ever seen.
+        self._prune_interval = 4096
+        self._deliveries_until_prune = self._prune_interval
         self._rng = sim.streams.get("net.jitter")
         self._loss_rng = sim.streams.get("net.loss")
 
@@ -299,6 +307,9 @@ class Fabric:
             key = (packet.src, packet.dst)
             arrival = max(arrival, self._last_arrival.get(key, 0))
             self._last_arrival[key] = arrival
+            self._deliveries_until_prune -= 1
+            if self._deliveries_until_prune <= 0:
+                self._prune_fifo_watermarks()
         self._count("delivered")
         tel = self.sim.telemetry
         if tel is not None and tel.spans is not None and isinstance(packet.dst, int):
@@ -309,6 +320,22 @@ class Fabric:
                     self.sim.now, arrival, src=packet.src, dst=packet.dst,
                 )
         self.sim.schedule_at(arrival, port.receive, packet, arrival)
+
+    def _prune_fifo_watermarks(self) -> None:
+        """Drop FIFO watermarks that already lie in the past.
+
+        Every delivery is scheduled strictly after ``sim.now``, so a pair
+        whose recorded watermark is <= now has been idle past the FIFO
+        horizon — its entry can never influence another arrival. Pruning
+        is deterministic (no randomness, no event scheduling) and runs
+        every ``_prune_interval`` clamped deliveries.
+        """
+        now = self.sim.now
+        last_arrival = self._last_arrival
+        stale = [key for key, arrival in last_arrival.items() if arrival <= now]
+        for key in stale:
+            del last_arrival[key]
+        self._deliveries_until_prune = self._prune_interval
 
     def _jitter(self) -> int:
         jitter = self.profile.link.jitter_ns

@@ -50,32 +50,82 @@ class Packet:
 
 def wire_size_of(message: Any) -> int:
     """Estimated serialized size of a protocol message, framing included."""
-    return UDP_HEADER_BYTES + _payload_size(message, depth=0)
+    return UDP_HEADER_BYTES + _payload_size(message, 0)
+
+
+# Per-type sizer dispatch. The estimation rules depend only on a value's
+# type (which isinstance branch applies; for dataclasses, the field list),
+# so the resolution is done once per type and cached — the per-call work
+# collapses to one dict lookup plus the type's own arithmetic. Sizes still
+# reflect each instance's actual contents.
+_SIZERS: dict = {}
+
+
+def _size_small_const(value: Any, depth: int) -> int:
+    return 1
+
+
+def _size_word(value: Any, depth: int) -> int:
+    return 8
+
+
+def _size_len(value: Any, depth: int) -> int:
+    return len(value)
+
+
+def _size_sequence(value: Any, depth: int) -> int:
+    depth += 1
+    return 2 + sum(_payload_size(item, depth) for item in value)
+
+
+def _size_dict(value: Any, depth: int) -> int:
+    depth += 1
+    return 2 + sum(
+        _payload_size(k, depth) + _payload_size(v, depth) for k, v in value.items()
+    )
+
+
+def _size_declared(value: Any, depth: int) -> int:
+    return value.wire_size()
+
+
+def _size_opaque(value: Any, depth: int) -> int:
+    return 16  # opaque object: charge a conservative constant
+
+
+def _resolve_sizer(cls: type):
+    """Pick the sizing rule for ``cls`` (same precedence as isinstance checks)."""
+    if cls is type(None) or issubclass(cls, bool):
+        return _size_small_const
+    if issubclass(cls, (int, float)):
+        return _size_word
+    if issubclass(cls, (bytes, bytearray, str)):
+        return _size_len
+    if issubclass(cls, (list, tuple, frozenset, set)):
+        return _size_sequence
+    if issubclass(cls, dict):
+        return _size_dict
+    if callable(getattr(cls, "wire_size", None)):
+        return _size_declared
+    if is_dataclass(cls):
+        field_names = tuple(f.name for f in fields(cls))
+
+        def _size_dataclass(value: Any, depth: int, _names=field_names) -> int:
+            depth += 1
+            return 2 + sum(
+                _payload_size(getattr(value, name), depth) for name in _names
+            )
+
+        return _size_dataclass
+    return _size_opaque
 
 
 def _payload_size(value: Any, depth: int) -> int:
-    if depth > 6:  # deep nesting contributes little; cap recursion
+    if depth > 6:
         return 8
-    if value is None or isinstance(value, bool):
-        return 1
-    if isinstance(value, int):
-        return 8
-    if isinstance(value, float):
-        return 8
-    if isinstance(value, (bytes, bytearray, str)):
-        return len(value)
-    if isinstance(value, (list, tuple, frozenset, set)):
-        return 2 + sum(_payload_size(item, depth + 1) for item in value)
-    if isinstance(value, dict):
-        return 2 + sum(
-            _payload_size(k, depth + 1) + _payload_size(v, depth + 1)
-            for k, v in value.items()
-        )
-    sizer = getattr(value, "wire_size", None)
-    if callable(sizer):
-        return sizer()
-    if is_dataclass(value):
-        return 2 + sum(
-            _payload_size(getattr(value, f.name), depth + 1) for f in fields(value)
-        )
-    return 16  # opaque object: charge a conservative constant
+    cls = value.__class__
+    sizer = _SIZERS.get(cls)
+    if sizer is None:
+        sizer = _resolve_sizer(cls)
+        _SIZERS[cls] = sizer
+    return sizer(value, depth)

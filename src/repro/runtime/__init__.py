@@ -9,7 +9,14 @@ and reports throughput and latency percentiles. Every figure bench in
 """
 
 from repro.runtime.cluster import Cluster, ClusterOptions, build_cluster
-from repro.runtime.harness import Measurement, RunResult, latency_throughput_sweep
+from repro.runtime.harness import (
+    Measurement,
+    RunResult,
+    latency_throughput_sweep,
+    run_once,
+    run_points,
+    run_sweep,
+)
 
 __all__ = [
     "Cluster",
@@ -18,4 +25,7 @@ __all__ = [
     "RunResult",
     "build_cluster",
     "latency_throughput_sweep",
+    "run_once",
+    "run_points",
+    "run_sweep",
 ]

@@ -1,11 +1,22 @@
-"""Measurement harness: warmup/measure windows, sweeps, reporting."""
+"""Measurement harness: warmup/measure windows, sweeps, reporting.
+
+Sweeps over independent ``(options, seed)`` points can be farmed to
+worker processes with :func:`run_sweep`'s ``workers`` knob. Each point is
+a full build-and-measure in its own process with its own seeded
+simulator, so parallel execution is bit-identical to serial execution —
+the determinism test suite asserts result-for-result equality.
+"""
 
 from __future__ import annotations
 
+import pickle
 import random
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import fastpath
 from repro.runtime.cluster import Cluster, ClusterOptions, build_cluster
 from repro.sim.clock import MICROSECOND, ms, secs
 from repro.sim.monitor import Histogram, RateMeter
@@ -45,10 +56,17 @@ class RunResult:
 
 
 def default_echo_op(rng: random.Random, size: int = 64) -> Callable[[], bytes]:
-    """Factory of random echo payload generators (the §6.2 workload)."""
+    """Factory of random echo payload generators (the §6.2 workload).
+
+    Each op draws one 64-bit value from ``rng`` — a single
+    ``getrandbits(64)`` call, replacing the previous eight
+    ``getrandbits(8)`` calls. The stream consumption and produced bytes
+    both changed with that switch; no golden output depends on the
+    payload bits (only on their length, which is unchanged).
+    """
 
     def next_op() -> bytes:
-        return bytes(rng.getrandbits(8) for _ in range(8)).ljust(size, b"\x00")
+        return rng.getrandbits(64).to_bytes(8, "little").ljust(size, b"\x00")
 
     return next_op
 
@@ -81,6 +99,9 @@ class Measurement:
             cluster.sim.telemetry = telemetry
         self.drain_step_ns = drain_step_ns
         self.drain_deadline_ns = drain_deadline_ns
+        # Fast-path caches are process-global; remember their counters now
+        # so the run's telemetry reports this run's hits/misses only.
+        self._cache_baseline = fastpath.snapshot_counters() if telemetry else None
         self.latency = Histogram("client-latency")
         self.meter = RateMeter()
         rng = cluster.sim.streams.get("workload.echo")
@@ -115,6 +136,10 @@ class Measurement:
         sim.run_for(self.duration_ns)
         self.meter.close_window(sim.now)
         self._drain()
+        if self.telemetry is not None:
+            fastpath.publish_cache_metrics(
+                self.telemetry.metrics, since=self._cache_baseline
+            )
         merged_metrics: Dict[str, int] = {}
         for replica in self.cluster.replicas:
             for key, value in replica.metrics.as_dict().items():
@@ -169,21 +194,92 @@ def run_once(
     return measurement.run()
 
 
+def _run_point(
+    options: ClusterOptions,
+    warmup_ns: int,
+    duration_ns: int,
+    next_op: Optional[Callable[[], bytes]],
+) -> RunResult:
+    """One sweep point; module-level so worker processes can unpickle it."""
+    return run_once(options, warmup_ns, duration_ns, next_op)
+
+
+def run_points(
+    points: Sequence[ClusterOptions],
+    warmup_ns: int = ms(20),
+    duration_ns: int = ms(100),
+    next_op: Optional[Callable[[], bytes]] = None,
+    workers: int = 1,
+) -> List[RunResult]:
+    """Measure every options point, optionally in parallel worker processes.
+
+    Points are independent by construction — each gets its own simulator
+    seeded from its own options — so farming them to a
+    ``ProcessPoolExecutor`` returns bit-identical ``RunResult`` objects in
+    the same order as serial execution. Falls back to serial when the
+    workload cannot be shipped to workers (unpicklable ``next_op``
+    closures) or the platform cannot spawn a pool (sandboxes without
+    process primitives); results are identical either way.
+    """
+    points = list(points)
+    if workers > 1 and len(points) > 1:
+        try:
+            pickle.dumps((points, next_op))
+        except Exception:
+            workers = 1  # closure-bound workload: measure in-process
+    if workers <= 1 or len(points) <= 1:
+        return [_run_point(options, warmup_ns, duration_ns, next_op) for options in points]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(points))) as pool:
+            futures = [
+                pool.submit(_run_point, options, warmup_ns, duration_ns, next_op)
+                for options in points
+            ]
+            return [future.result() for future in futures]
+    except (OSError, PermissionError, BrokenProcessPool):
+        return [_run_point(options, warmup_ns, duration_ns, next_op) for options in points]
+
+
+def run_sweep(
+    base_options: ClusterOptions,
+    client_counts: Optional[Sequence[int]] = None,
+    warmup_ns: int = ms(20),
+    duration_ns: int = ms(100),
+    next_op: Optional[Callable[[], bytes]] = None,
+    workers: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+) -> List[RunResult]:
+    """Sweep the cross product of client counts and seeds.
+
+    Results are ordered by client count, then seed. ``workers=N`` farms
+    the points to N processes (see :func:`run_points`); the parallel
+    result list is asserted bit-identical to serial execution by the
+    determinism tests, so benchmarks can enable it unconditionally.
+    """
+    counts = list(client_counts) if client_counts is not None else [base_options.num_clients]
+    seed_list = list(seeds) if seeds is not None else [base_options.seed]
+    # dataclasses.replace keeps any future non-field state out of the
+    # copy (a raw __dict__ splat resurrects stale attributes).
+    points = [
+        replace(base_options, num_clients=count, seed=seed)
+        for count in counts
+        for seed in seed_list
+    ]
+    return run_points(points, warmup_ns, duration_ns, next_op, workers=workers)
+
+
 def latency_throughput_sweep(
     base_options: ClusterOptions,
     client_counts: List[int],
     warmup_ns: int = ms(20),
     duration_ns: int = ms(100),
     next_op: Optional[Callable[[], bytes]] = None,
+    workers: int = 1,
 ) -> List[RunResult]:
     """The Figure 7 sweep: one run per closed-loop client count."""
-    results = []
-    for count in client_counts:
-        # dataclasses.replace keeps any future non-field state out of the
-        # copy (a raw __dict__ splat resurrects stale attributes).
-        options = replace(base_options, num_clients=count)
-        results.append(run_once(options, warmup_ns, duration_ns, next_op))
-    return results
+    return run_sweep(
+        base_options, client_counts, warmup_ns, duration_ns, next_op, workers=workers
+    )
 
 
 def max_throughput(results: List[RunResult]) -> RunResult:

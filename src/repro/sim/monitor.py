@@ -67,6 +67,23 @@ class Histogram:
     def __len__(self) -> int:
         return len(self._samples)
 
+    def __eq__(self, other: object) -> bool:
+        """Same sample multiset (order-insensitive; names don't matter).
+
+        This is what "bit-identical runs" means for a latency histogram:
+        every recorded value equal, pair for pair. Used by the sweep
+        determinism tests to compare serial vs parallel ``RunResult``s.
+        """
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        if len(self._samples) != len(other._samples):
+            return False
+        self._ensure_sorted()
+        other._ensure_sorted()
+        return self._samples == other._samples
+
+    __hash__ = None  # mutable container semantics
+
     @property
     def count(self) -> int:
         """Number of recorded samples."""

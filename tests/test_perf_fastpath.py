@@ -1,0 +1,167 @@
+"""Fast-path equivalence: caches, timer wheel and parallel sweeps must
+not change a single bit of any execution — only wall-clock time.
+
+These are the determinism guarantees ``docs/performance.md`` promises:
+
+- a run with all fastpath caches disabled and the timer wheel off is
+  bit-identical (events processed, completions, every latency sample)
+  to a run with the full fast path on;
+- ``run_sweep(workers=4)`` returns result-for-result the same list as
+  serial execution.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.net.fabric import Fabric
+from repro.net.packet import UDP_HEADER_BYTES, wire_size_of
+from repro.runtime import ClusterOptions, run_sweep
+from repro.runtime.cluster import build_cluster
+from repro.runtime.harness import Measurement
+from repro.sim.clock import ms
+from repro.sim.engine import Simulator
+
+
+SMALL = dict(protocol="neobft-hm", seed=7, num_clients=4)
+WINDOW = dict(warmup_ns=ms(1), duration_ns=ms(3))
+
+
+@pytest.fixture(autouse=True)
+def _restore_caches():
+    yield
+    fastpath.set_caches_enabled(True)
+    fastpath.clear_caches()
+
+
+def _run(sim_kwargs, caches_enabled):
+    fastpath.set_caches_enabled(caches_enabled)
+    fastpath.clear_caches()
+    cluster = build_cluster(ClusterOptions(sim_kwargs=sim_kwargs, **SMALL))
+    result = Measurement(cluster, **WINDOW).run()
+    return cluster.sim.events_processed, result
+
+
+class TestFastSlowEquivalence:
+    def test_fast_path_bit_identical_to_slow_path(self):
+        slow_events, slow = _run({"timer_wheel": False}, caches_enabled=False)
+        fast_events, fast = _run({}, caches_enabled=True)
+        assert slow_events == fast_events
+        assert slow.completions == fast.completions
+        assert slow.latency == fast.latency
+        assert slow == fast
+
+    def test_wheel_alone_is_neutral(self):
+        wheel_events, wheel = _run({}, caches_enabled=True)
+        no_wheel_events, no_wheel = _run({"timer_wheel": False}, caches_enabled=True)
+        assert (wheel_events, wheel) == (no_wheel_events, no_wheel)
+
+    def test_caches_alone_are_neutral(self):
+        on_events, on = _run({}, caches_enabled=True)
+        off_events, off = _run({}, caches_enabled=False)
+        assert (on_events, on) == (off_events, off)
+
+
+class TestParallelSweep:
+    def test_parallel_sweep_equals_serial(self):
+        base = ClusterOptions(**SMALL)
+        serial = run_sweep(base, [1, 4], seeds=[7, 11], workers=1, **WINDOW)
+        parallel = run_sweep(base, [1, 4], seeds=[7, 11], workers=4, **WINDOW)
+        assert len(serial) == len(parallel) == 4
+        for s, p in zip(serial, parallel):
+            assert s == p
+
+    def test_unpicklable_next_op_falls_back_to_serial(self):
+        state = {"n": 0}  # closure over local state: not picklable as a task
+
+        def next_op():
+            state["n"] += 1
+            return b"\x01" * 8
+
+        base = ClusterOptions(**SMALL)
+        results = run_sweep(base, [1, 2], workers=4, next_op=next_op, **WINDOW)
+        assert len(results) == 2
+        assert state["n"] > 0  # ran in-process
+
+
+class TestLruCache:
+    def test_hit_miss_counters(self):
+        cache = fastpath.LruCache("t1", maxsize=4)
+        assert cache.lookup("a") is None
+        cache.store("a", 1)
+        assert cache.lookup("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_eviction_is_lru(self):
+        cache = fastpath.LruCache("t2", maxsize=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        cache.lookup("a")  # refresh a; b is now least recent
+        cache.store("c", 3)
+        assert cache.lookup("b") is None
+        assert cache.lookup("a") == 1
+        assert cache.lookup("c") == 3
+
+    def test_disabled_flag_bypasses_memoization(self):
+        # ``enabled`` is honored by the memoized call sites, not inside
+        # lookup() — a disabled cache records no traffic at all.
+        from repro.crypto.digests import _DIGEST_CACHE, sha256_digest
+
+        fastpath.set_caches_enabled(False, ["sha256"])
+        before = (_DIGEST_CACHE.hits, _DIGEST_CACHE.misses)
+        sha256_digest(b"fastpath-disabled-probe")
+        sha256_digest(b"fastpath-disabled-probe")
+        assert (_DIGEST_CACHE.hits, _DIGEST_CACHE.misses) == before
+        fastpath.set_caches_enabled(True, ["sha256"])
+        sha256_digest(b"fastpath-disabled-probe")
+        sha256_digest(b"fastpath-disabled-probe")
+        assert _DIGEST_CACHE.hits > before[0]
+
+    def test_registry_roundtrip(self):
+        cache = fastpath.get_cache("test-registry", maxsize=8)
+        assert fastpath.get_cache("test-registry") is cache
+        cache.store("k", "v")
+        fastpath.clear_caches(["test-registry"])
+        assert cache.lookup("k") is None
+
+
+class TestWireSizeCache:
+    def test_dispatch_matches_value_shapes(self):
+        # Representative payloads through the per-type dispatch table.
+        cases = [
+            (None, 1), (True, 1), (7, 8), (1.5, 8),
+            (b"abcd", 4), ("abc", 3),
+            ([1, 2], 2 + 8 + 8), ({"k": b"xy"}, 2 + 1 + 2),
+        ]
+        for value, expected in cases:
+            assert wire_size_of(value) == UDP_HEADER_BYTES + expected, value
+
+
+class TestFabricWatermarkPruning:
+    def test_stale_fifo_watermarks_are_swept(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        fabric._prune_interval = 4
+        fabric._deliveries_until_prune = 4
+        # Seed watermarks in the past and the future.
+        sim.schedule(ms(1), lambda: None)
+        sim.run()
+        fabric._last_arrival = {
+            (0, 1): sim.now - 100,          # stale: can never clamp again
+            (2, 3): sim.now + ms(5),        # in-flight: must survive
+        }
+        fabric._prune_fifo_watermarks()
+        assert (0, 1) not in fabric._last_arrival
+        assert fabric._last_arrival[(2, 3)] == sim.now + ms(5)
+        assert fabric._deliveries_until_prune == 4
+
+    def test_watermark_map_stays_bounded_under_load(self):
+        events, result = _run({}, caches_enabled=True)
+        # A run touches a handful of (src, dst) pairs; the map must not
+        # grow with delivery count (it is pruned to in-flight pairs).
+        cluster = build_cluster(ClusterOptions(**SMALL))
+        cluster.fabric._prune_interval = 64
+        cluster.fabric._deliveries_until_prune = 64
+        Measurement(cluster, **WINDOW).run()
+        pairs = len(cluster.fabric._last_arrival)
+        endpoints = len(cluster.fabric._endpoints)
+        assert pairs <= endpoints * endpoints
