@@ -5,6 +5,7 @@ Commands:
 - ``run``       one measured run of a protocol (throughput + latency)
 - ``sweep``     a latency/throughput sweep over client counts
 - ``aom``       aom switch micro-benchmark (latency + saturation)
+- ``fuzz``      randomized fault-schedule fuzzing (shrinks violations)
 - ``protocols`` list available protocols
 """
 
@@ -58,6 +59,46 @@ def _cmd_aom(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.faults.fuzz import FuzzBudget, fuzz_sweep, replay_artifact
+
+    if args.replay is not None:
+        outcome = replay_artifact(args.replay)
+        if outcome.violation is None:
+            print(f"replay of {args.replay}: no violation reproduced")
+            return 1
+        print(f"replay of {args.replay}: {outcome.violation.kind}")
+        print(outcome.violation.message)
+        return 0
+
+    protocols = args.protocols.split(",")
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    budget = FuzzBudget(max_events=args.max_events)
+    report = fuzz_sweep(
+        protocols,
+        seeds,
+        budget=budget,
+        workers=args.workers,
+        artifacts_dir=args.artifacts_dir,
+        shrink=not args.no_shrink,
+    )
+    print(
+        f"fuzzed {report.cases_run} cases "
+        f"({report.completed_ops} client ops, "
+        f"{report.invariant_checks} invariant checks): "
+        f"{len(report.findings)} violation(s)"
+    )
+    for finding in report.findings:
+        where = f" -> {finding.artifact_path}" if finding.artifact_path else ""
+        print(
+            f"  {finding.protocol} seed {finding.seed}: "
+            f"{finding.violation.signature} "
+            f"(shrunk {finding.shrink_stats.original_events} -> "
+            f"{finding.shrink_stats.shrunk_events} events){where}"
+        )
+    return 0 if report.ok else 1
+
+
 def _cmd_protocols(_args) -> int:
     for protocol in ALL_PROTOCOLS:
         print(protocol)
@@ -91,6 +132,28 @@ def main(argv=None) -> int:
     aom_parser.add_argument("--group", type=int, default=4)
     aom_parser.add_argument("--packets", type=int, default=5000)
     aom_parser.set_defaults(func=_cmd_aom)
+
+    fuzz_parser = sub.add_parser("fuzz", help="fault-schedule fuzzing")
+    fuzz_parser.add_argument(
+        "--protocols", default="neobft-hm,neobft-bn,pbft",
+        help="comma-separated protocol list",
+    )
+    fuzz_parser.add_argument("--seeds", type=int, default=20, help="seeds per protocol")
+    fuzz_parser.add_argument("--seed-base", type=int, default=0)
+    fuzz_parser.add_argument("--max-events", type=int, default=5)
+    fuzz_parser.add_argument("--workers", type=int, default=1)
+    fuzz_parser.add_argument(
+        "--artifacts-dir", default=None,
+        help="directory for shrunk reproducer JSON (written only on violations)",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink", action="store_true", help="skip shrinking failing schedules"
+    )
+    fuzz_parser.add_argument(
+        "--replay", default=None, metavar="ARTIFACT",
+        help="re-run a saved reproducer instead of fuzzing",
+    )
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     protocols_parser = sub.add_parser("protocols", help="list protocols")
     protocols_parser.set_defaults(func=_cmd_protocols)

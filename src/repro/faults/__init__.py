@@ -16,10 +16,14 @@ Two ways to use them:
 """
 
 from repro.faults.behaviors import (
+    corrupt_macs,
     corrupt_replies,
     crash_replica,
     delay_everything,
+    equivocate_primary,
     make_silent,
+    replay_stale_views,
+    withhold_votes,
 )
 from repro.faults.campaign import (
     CampaignRun,
@@ -30,34 +34,86 @@ from repro.faults.campaign import (
     TimelineEntry,
     run_campaign,
 )
+from repro.faults.fuzz import (
+    FuzzBudget,
+    FuzzCase,
+    FuzzOutcome,
+    FuzzReport,
+    fuzz_sweep,
+    generate_case,
+    load_artifact,
+    replay_artifact,
+    run_case,
+    save_artifact,
+    shrink_case,
+)
 from repro.faults.invariants import InvariantMonitor, InvariantViolation
+from repro.faults.linearizability import (
+    CounterOp,
+    LinearizabilityViolation,
+    check_counter_history,
+    check_counter_history_with_gaps,
+)
 from repro.faults.network import (
     drop_fraction_for,
     duplicate_fraction,
     isolate_host,
     reorder_fraction,
 )
+from repro.faults.registry import (
+    FAULT_REGISTRY,
+    FaultKind,
+    GenContext,
+    fuzzable_kinds,
+    register_fault_kind,
+    unregister_fault_kind,
+)
 from repro.faults.sequencer import equivocate_sequencer, fail_sequencer, flap_sequencer
 
 __all__ = [
     "CampaignRun",
     "CompletionTimeline",
+    "CounterOp",
+    "FAULT_REGISTRY",
     "FaultCampaign",
     "FaultEvent",
+    "FaultKind",
     "FaultSpec",
+    "FuzzBudget",
+    "FuzzCase",
+    "FuzzOutcome",
+    "FuzzReport",
+    "GenContext",
     "InvariantMonitor",
     "InvariantViolation",
+    "LinearizabilityViolation",
     "TimelineEntry",
+    "check_counter_history",
+    "check_counter_history_with_gaps",
+    "corrupt_macs",
     "corrupt_replies",
     "crash_replica",
     "delay_everything",
     "drop_fraction_for",
     "duplicate_fraction",
+    "equivocate_primary",
     "equivocate_sequencer",
     "fail_sequencer",
     "flap_sequencer",
+    "fuzz_sweep",
+    "fuzzable_kinds",
+    "generate_case",
     "isolate_host",
+    "load_artifact",
     "make_silent",
+    "register_fault_kind",
     "reorder_fraction",
+    "replay_artifact",
+    "replay_stale_views",
     "run_campaign",
+    "run_case",
+    "save_artifact",
+    "shrink_case",
+    "unregister_fault_kind",
+    "withhold_votes",
 ]

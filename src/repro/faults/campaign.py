@@ -22,14 +22,19 @@ the monitor, arm the campaign, measure, and return the lot.
 
 from __future__ import annotations
 
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.faults.behaviors import (
+    corrupt_macs,
     corrupt_replies,
     crash_replica,
     delay_everything,
+    equivocate_primary,
     make_silent,
+    replay_stale_views,
+    withhold_votes,
 )
 from repro.faults.invariants import InvariantMonitor
 from repro.faults.network import (
@@ -38,12 +43,23 @@ from repro.faults.network import (
     isolate_host,
     reorder_fraction,
 )
+from repro.faults.registry import (
+    FAULT_REGISTRY,
+    GenContext,
+    kind_for,
+    register_fault_kind,
+)
 from repro.faults.sequencer import (
     equivocate_sequencer,
     fail_sequencer,
     flap_sequencer,
 )
-from repro.sim.clock import format_duration, ms
+from repro.sim.clock import format_duration, ms, us
+
+# Protocol families for kind applicability (mirrors runtime.cluster's
+# names; literals here keep faults importable without the runtime layer).
+NEOBFT_PROTOCOLS = ("neobft-hm", "neobft-pk", "neobft-bn")
+LEADER_PROTOCOLS = ("pbft", "zyzzyva", "hotstuff", "minbft")
 
 
 # ---------------------------------------------------------------------------
@@ -123,6 +139,30 @@ def _inject_corrupt_replies(cluster, spec, rng):
 
 def _inject_slow_replica(cluster, spec, rng):
     return delay_everything(_replica(cluster, spec), spec.params["delay_ns"])
+
+
+def _inject_equivocate_primary(cluster, spec, rng):
+    return equivocate_primary(
+        _replica(cluster, spec), victims=spec.params.get("victims")
+    )
+
+
+def _inject_replay_stale_views(cluster, spec, rng):
+    return replay_stale_views(
+        _replica(cluster, spec), capacity=spec.params.get("capacity", 16)
+    )
+
+
+def _inject_corrupt_macs(cluster, spec, rng):
+    return corrupt_macs(
+        _replica(cluster, spec),
+        fraction=spec.params.get("fraction", 1.0),
+        rng=rng,
+    )
+
+
+def _inject_withhold_votes(cluster, spec, rng):
+    return withhold_votes(_replica(cluster, spec))
 
 
 def _inject_fail_sequencer(cluster, spec, rng):
@@ -209,20 +249,156 @@ def _inject_partition(cluster, spec, rng):
     return heal
 
 
-FAULT_KINDS: Dict[str, Callable] = {
-    "crash_replica": _inject_crash_replica,
-    "silent_replica": _inject_silent_replica,
-    "corrupt_replies": _inject_corrupt_replies,
-    "slow_replica": _inject_slow_replica,
-    "fail_sequencer": _inject_fail_sequencer,
-    "flap_sequencer": _inject_flap_sequencer,
-    "equivocate_sequencer": _inject_equivocate_sequencer,
-    "drop_fraction": _inject_drop_fraction,
-    "duplicate": _inject_duplicate,
-    "reorder": _inject_reorder,
-    "isolate_host": _inject_isolate_host,
-    "partition": _inject_partition,
-}
+# ---------------------------------------------------------------------------
+# Fuzz generators: (rng, ctx) -> (target, params)
+#
+# Parameter menus are deliberately small and discrete: a shrunk schedule
+# should name values a human recognises, and coarse menus shrink faster
+# than continuous draws. Replica host addresses are the replica ids
+# (0..n-1, see runtime.cluster), so replica draws double as host draws.
+# ---------------------------------------------------------------------------
+
+
+def _gen_any_replica(rng, ctx: GenContext):
+    return rng.choice(ctx.replica_ids), {}
+
+
+def _gen_primaryish(rng, ctx: GenContext):
+    # Leader faults bite hardest on the initial primary (replica 0);
+    # weight it, but keep every replica in the pool.
+    target = 0 if rng.random() < 0.75 else rng.choice(ctx.replica_ids)
+    return target, {}
+
+
+def _gen_slow_replica(rng, ctx: GenContext):
+    return rng.choice(ctx.replica_ids), {
+        "delay_ns": rng.choice((us(10), us(50), us(200)))
+    }
+
+
+def _gen_corrupt_macs(rng, ctx: GenContext):
+    return rng.choice(ctx.replica_ids), {"fraction": rng.choice((0.25, 1.0))}
+
+
+def _gen_drop_fraction(rng, ctx: GenContext):
+    target = rng.choice(ctx.replica_ids) if rng.random() < 0.5 else None
+    return target, {"fraction": rng.choice((0.01, 0.05, 0.2))}
+
+
+def _gen_duplicate(rng, ctx: GenContext):
+    return None, {
+        "fraction": rng.choice((0.01, 0.05)),
+        "extra_delay_ns": rng.choice((500, us(5))),
+    }
+
+
+def _gen_reorder(rng, ctx: GenContext):
+    return None, {
+        "fraction": rng.choice((0.02, 0.1)),
+        "max_delay_ns": rng.choice((us(20), us(100))),
+    }
+
+
+def _gen_flap_sequencer(rng, ctx: GenContext):
+    return None, {
+        "down_ns": rng.choice((us(100), us(500))),
+        "up_ns": rng.choice((us(200), ms(1))),
+    }
+
+
+def _gen_equivocate_sequencer(rng, ctx: GenContext):
+    victim = rng.choice(ctx.replica_ids)
+    forged = bytes(rng.randrange(256) for _ in range(32))
+    return None, {"split": {victim: forged}}
+
+
+register_fault_kind(
+    "crash_replica", _inject_crash_replica, "replica", generate=_gen_any_replica
+)
+register_fault_kind(
+    "silent_replica", _inject_silent_replica, "replica", generate=_gen_any_replica
+)
+register_fault_kind(
+    "corrupt_replies", _inject_corrupt_replies, "replica", generate=_gen_any_replica
+)
+register_fault_kind(
+    "slow_replica", _inject_slow_replica, "replica", generate=_gen_slow_replica
+)
+register_fault_kind(
+    "equivocate_primary",
+    _inject_equivocate_primary,
+    "replica",
+    protocols=LEADER_PROTOCOLS,
+    generate=_gen_primaryish,
+)
+register_fault_kind(
+    "replay_stale_views",
+    _inject_replay_stale_views,
+    "replica",
+    generate=_gen_any_replica,
+)
+register_fault_kind(
+    "corrupt_macs", _inject_corrupt_macs, "replica", generate=_gen_corrupt_macs
+)
+register_fault_kind(
+    "withhold_votes", _inject_withhold_votes, "replica", generate=_gen_any_replica
+)
+register_fault_kind(
+    "fail_sequencer",
+    _inject_fail_sequencer,
+    "sequencer",
+    protocols=NEOBFT_PROTOCOLS,
+    generate=lambda rng, ctx: (None, {}),
+)
+register_fault_kind(
+    "flap_sequencer",
+    _inject_flap_sequencer,
+    "sequencer",
+    protocols=NEOBFT_PROTOCOLS,
+    generate=_gen_flap_sequencer,
+)
+register_fault_kind(
+    "equivocate_sequencer",
+    _inject_equivocate_sequencer,
+    "sequencer",
+    # Only the Byzantine-network mode claims to tolerate a lying switch;
+    # under neobft-hm/pk an equivocating sequencer is outside the fault
+    # model, so fuzzing it there would report vacuous "violations".
+    protocols=("neobft-bn",),
+    generate=_gen_equivocate_sequencer,
+)
+register_fault_kind(
+    "drop_fraction", _inject_drop_fraction, "network", generate=_gen_drop_fraction
+)
+register_fault_kind(
+    "duplicate", _inject_duplicate, "network", generate=_gen_duplicate
+)
+register_fault_kind("reorder", _inject_reorder, "network", generate=_gen_reorder)
+register_fault_kind(
+    "isolate_host", _inject_isolate_host, "replica", generate=_gen_any_replica
+)
+# partition is campaign-only (no generator): arbitrary group splits are
+# better expressed by hand than drawn blind.
+register_fault_kind("partition", _inject_partition, "network")
+
+
+class _InjectorView(MappingABC):
+    """Legacy ``FAULT_KINDS`` mapping, now a live view of the registry."""
+
+    def __getitem__(self, name: str) -> Callable:
+        return kind_for(name).injector
+
+    def __contains__(self, name: object) -> bool:
+        return name in FAULT_REGISTRY
+
+    def __iter__(self):
+        return iter(FAULT_REGISTRY)
+
+    def __len__(self) -> int:
+        return len(FAULT_REGISTRY)
+
+
+FAULT_KINDS: Mapping[str, Callable] = _InjectorView()
 
 
 # ---------------------------------------------------------------------------
@@ -254,11 +430,7 @@ class FaultCampaign:
 
     def __init__(self, events: Sequence[FaultEvent]):
         for index, event in enumerate(events):
-            if event.spec.kind not in FAULT_KINDS:
-                raise ValueError(
-                    f"unknown fault kind {event.spec.kind!r} "
-                    f"(known: {', '.join(sorted(FAULT_KINDS))})"
-                )
+            kind_for(event.spec.kind)  # raises on unknown kinds
             if event.at_ns < 0:
                 raise ValueError(f"event {index}: at_ns must be >= 0, got {event.at_ns}")
             if event.until_ns is not None and event.until_ns <= event.at_ns:
@@ -288,28 +460,45 @@ class FaultCampaign:
 
             def inject(event=event, label=label, holder=holder) -> None:
                 rng = sim.streams.get(f"faults.{label}")
-                heal = FAULT_KINDS[event.spec.kind](cluster, event.spec, rng)
-                holder[0] = heal
-                self._active_heals.append((label, heal))
+                undo = kind_for(event.spec.kind).injector(cluster, event.spec, rng)
+
+                def heal_once() -> None:
+                    # One restore per injection, no matter how many of
+                    # the scheduled heal / heal_all() / a second
+                    # heal_all() call race to fire it.
+                    if holder[0] is None:
+                        return
+                    holder[0] = None
+                    undo()
+                    self._record(
+                        sim.now, "heal", label, event.spec.describe(), tracer
+                    )
+
+                holder[0] = heal_once
+                self._active_heals.append((label, heal_once))
                 self._record(sim.now, "inject", label, event.spec.describe(), tracer)
 
-            def heal(event=event, label=label, holder=holder) -> None:
-                undo = holder[0]
-                if undo is None:
-                    return
-                holder[0] = None
-                undo()
-                self._record(sim.now, "heal", label, event.spec.describe(), tracer)
+            def scheduled_heal(holder=holder) -> None:
+                heal_once = holder[0]
+                if heal_once is not None:
+                    heal_once()
 
             sim.schedule_at(event.at_ns, inject)
             if event.until_ns is not None:
-                sim.schedule_at(event.until_ns, heal)
+                sim.schedule_at(event.until_ns, scheduled_heal)
         return self
 
     def heal_all(self) -> None:
-        """Tear down every still-live fault (heals are idempotent)."""
-        for label, heal in self._active_heals:
-            heal()
+        """Tear down every still-live fault, newest first.
+
+        Idempotent: each injection restores exactly once, even when its
+        scheduled heal already fired or ``heal_all`` is called twice.
+        Reverse injection order unwinds stacked faults (e.g. a slow-down
+        layered on a crash) the way nested context managers would.
+        """
+        while self._active_heals:
+            _, heal_once = self._active_heals.pop()
+            heal_once()
 
     def _record(self, time: int, action: str, label: str, detail: str, tracer) -> None:
         self.timeline.append(TimelineEntry(time, action, label, detail))

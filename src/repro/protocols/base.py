@@ -96,6 +96,41 @@ class BaseReplica(Endpoint):
         # Requests admitted to ordering but not yet executed (leader-side
         # duplicate suppression against client retries).
         self._inflight_requests: set = set()
+        # Send-path interposers (Byzantine behaviours, test harnesses):
+        # each sees (dst, message) and returns a replacement message or
+        # None to suppress the send. Applied in installation order.
+        self._send_interposers: List[Callable[[int, object], Optional[object]]] = []
+
+    # ----------------------------------------------------- send interposition
+
+    def add_send_interposer(
+        self, interposer: Callable[[int, object], Optional[object]]
+    ) -> Callable[[], None]:
+        """Install a send-path interposer; returns its remover.
+
+        The interposition point is *after* the protocol handler produced
+        the message and *before* transport charging, so a replacement
+        message is charged (and sized) as what actually leaves the host —
+        exactly where a Byzantine process would rewrite its own traffic.
+        Removal is idempotent.
+        """
+        self._send_interposers.append(interposer)
+
+        def remove() -> None:
+            try:
+                self._send_interposers.remove(interposer)
+            except ValueError:
+                pass
+
+        return remove
+
+    def send(self, dst, message) -> None:
+        """Send with the interposer chain applied (None = suppressed)."""
+        for interposer in self._send_interposers:
+            message = interposer(dst, message)
+            if message is None:
+                return
+        super().send(dst, message)
 
     # ------------------------------------------------------------- identity
 

@@ -154,7 +154,11 @@ class HotStuffReplica(BaseReplica):
         if vote.replica in votes or vote.phase in state.qcs:
             return
         votes[vote.replica] = vote
-        if len(votes) < self.group.quorum:
+        # A QC must combine shares over ONE digest: counting a forked
+        # proposal's votes toward another digest's quorum would certify
+        # a batch 2f+1 replicas never voted for.
+        matching = sum(1 for v in votes.values() if v.digest == vote.digest)
+        if matching < self.group.quorum:
             return
         body = qc_body(vote.view, vote.seq, vote.phase, vote.digest)
         combined = self.crypto.combine_threshold(body)

@@ -177,12 +177,18 @@ class MinBftReplica(BaseReplica):
         while self._order:
             head = self._order[0]
             state = self.states.get(head)
-            if (
-                state is None
-                or state.executed
-                or state.prepare is None
-                or len(state.commits) < self.group.f + 1
-            ):
+            if state is None or state.executed or state.prepare is None:
+                return
+            # Only digest-matching commits certify the prepare: a
+            # Byzantine replica can mint a valid USIG UI over any digest
+            # it likes, and counting such commits would execute on a
+            # quorum that never agreed on this batch.
+            matching = sum(
+                1
+                for c in state.commits.values()
+                if c.digest == state.prepare.digest
+            )
+            if matching < self.group.f + 1:
                 return
             state.executed = True
             for request in state.prepare.batch:

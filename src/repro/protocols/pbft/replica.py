@@ -157,12 +157,15 @@ class PbftReplica(BaseReplica):
                 self.metrics.add("primary_suspicions")
                 self._initiate_view_change(self.view + 1)
 
-        self._request_timers[key] = self.set_timer(self.request_timeout_ns, fire)
+        self._request_timers[key] = (
+            self.set_timer(self.request_timeout_ns, fire),
+            request,
+        )
 
     def _clear_request_timer(self, request: ClientRequest) -> None:
-        timer = self._request_timers.pop(request.key(), None)
-        if timer is not None:
-            timer.cancel()
+        entry = self._request_timers.pop(request.key(), None)
+        if entry is not None:
+            entry[0].cancel()
 
     # --------------------------------------------------------- normal case
 
@@ -211,20 +214,29 @@ class PbftReplica(BaseReplica):
         if prepare.replica == self.group.leader_addr(self.view):
             return  # the primary's pre-prepare stands in for its prepare
         state = self._slot(seq)
+        if (
+            state.pre_prepare is not None
+            and prepare.digest != state.pre_prepare.digest
+        ):
+            self.metrics.add("digest_mismatch_votes")
         state.prepares[prepare.replica] = prepare
         self._check_prepared(seq)
 
     def _check_prepared(self, seq: int) -> None:
-        # prepared == pre-prepare + 2f prepares from non-primary replicas
-        # (our own counts when we are a backup).
+        # prepared == pre-prepare + 2f *digest-matching* prepares from
+        # non-primary replicas (our own counts when we are a backup).
+        # Counting mismatched prepares would let an equivocating primary
+        # split-brain the slot: half the quorum preparing one batch, half
+        # another, both "prepared". Mismatches stall the slot instead,
+        # and the request timers view-change away from the primary.
         state = self._slot(seq)
-        if (
-            not state.prepared
-            and state.pre_prepare is not None
-            and len(state.prepares) >= 2 * self.group.f
-        ):
+        if state.prepared or state.pre_prepare is None:
+            return
+        digest = state.pre_prepare.digest
+        matching = sum(1 for p in state.prepares.values() if p.digest == digest)
+        if matching >= 2 * self.group.f:
             state.prepared = True
-            commit = Commit(self.view, seq, state.pre_prepare.digest, self.address)
+            commit = Commit(self.view, seq, digest, self.address)
             state.sent_commit = True
             self._mac_broadcast(commit, commit.signed_body())
             self._add_commit_vote(seq, commit)
@@ -238,12 +250,17 @@ class PbftReplica(BaseReplica):
 
     def _add_commit_vote(self, seq: int, commit: Commit) -> None:
         state = self._slot(seq)
-        state.commits[commit.replica] = commit
         if (
-            not state.committed
-            and state.pre_prepare is not None
-            and len(state.commits) >= self.group.quorum
+            state.pre_prepare is not None
+            and commit.digest != state.pre_prepare.digest
         ):
+            self.metrics.add("digest_mismatch_votes")
+        state.commits[commit.replica] = commit
+        if state.committed or state.pre_prepare is None:
+            return
+        digest = state.pre_prepare.digest
+        matching = sum(1 for c in state.commits.values() if c.digest == digest)
+        if matching >= self.group.quorum:
             state.committed = True
             self._execute_ready()
 
@@ -379,6 +396,19 @@ class PbftReplica(BaseReplica):
                 current = winners.get(proof.seq)
                 if current is None or proof.view > current.view:
                     winners[proof.seq] = proof
+        # Null-fill the gaps: a seq the old primary consumed without any
+        # quorum member preparing it (lost or garbled pre-prepare) would
+        # otherwise stall exec_cursor below the re-issued slots forever.
+        # A slot that executed anywhere prepared at 2f+1 replicas, so it
+        # is always in some chosen proof — nulls only land on seqs no
+        # correct replica can have executed.
+        floor = min((vc.last_stable for vc in chosen), default=self.last_stable)
+        null_digest = batch_digest(())
+        for seq in range(floor + 1, max(winners, default=floor)):
+            if seq not in winners:
+                winners[seq] = PreparedProof(
+                    seq=seq, view=new_view, digest=null_digest, batch=()
+                )
         pre_prepares = tuple(
             PrePrepare(new_view, proof.seq, proof.digest, proof.batch)
             for seq, proof in sorted(winners.items())
@@ -413,9 +443,15 @@ class PbftReplica(BaseReplica):
         self.in_view_change = False
         self._vc_target = None
         self.metrics.add("views_entered")
-        for timer in self._request_timers.values():
+        pending = [request for _, request in self._request_timers.values()]
+        for timer, _ in self._request_timers.values():
             timer.cancel()
         self._request_timers.clear()
+        # Drop unexecuted slot state from the old view: a stale
+        # pre-prepare parked at a seq would block the new primary's
+        # (different) assignment for that seq indefinitely.
+        for seq in [s for s, state in self.slots.items() if not state.executed]:
+            del self.slots[seq]
         # Re-run agreement for carried-over batches in the new view.
         max_seq = self.last_stable
         for pre_prepare in message.pre_prepares:
@@ -436,3 +472,17 @@ class PbftReplica(BaseReplica):
                 max_batch=self.batcher.max_batch,
                 max_outstanding=self.batcher.max_outstanding,
             )
+        # Re-route requests that were waiting on the dead primary: the
+        # clients' copies went to the old view, and their retry backoff
+        # can stretch well past the view change. Unexecuted ones go to
+        # the new primary now (or straight into our batch, if that's us).
+        for request in pending:
+            seen = self.client_table.get(request.client_id)
+            if seen is not None and seen[0] >= request.request_id:
+                continue  # executed while the timer was pending
+            if self.is_leader:
+                if self.admit_once(request):
+                    self.batcher.add(request)
+            else:
+                self.send(self.leader_addr, request)
+                self._arm_request_timer(request)

@@ -360,3 +360,84 @@ class TestCompletionTimeline:
         # Both the measurement hook and the timeline saw every completion.
         assert sum(timeline.buckets.values()) == len(timeline.times)
         assert len(timeline.times) >= result.completions > 0
+
+# ---------------------------------------------------------------------------
+# heal_all semantics: idempotent, reverse order, no double restore
+# ---------------------------------------------------------------------------
+
+
+class TestHealAll:
+    @staticmethod
+    def _register_counting_kinds(names, heal_log):
+        from repro.faults.registry import register_fault_kind
+
+        for name in names:
+
+            def injector(cluster, spec, rng, _name=name):
+                return lambda: heal_log.append(_name)
+
+            register_fault_kind(name, injector, "custom")
+
+    @staticmethod
+    def _unregister(names):
+        from repro.faults.registry import unregister_fault_kind
+
+        for name in names:
+            unregister_fault_kind(name)
+
+    def test_heal_all_reverse_injection_order(self):
+        heal_log = []
+        names = ["t_heal_a", "t_heal_b", "t_heal_c"]
+        self._register_counting_kinds(names, heal_log)
+        try:
+            campaign = FaultCampaign(
+                [
+                    FaultEvent(ms(1), FaultSpec("t_heal_a")),
+                    FaultEvent(ms(2), FaultSpec("t_heal_b")),
+                    FaultEvent(ms(3), FaultSpec("t_heal_c")),
+                ]
+            )
+            cluster = build_cluster(ClusterOptions(num_clients=1, seed=5))
+            campaign.arm(cluster)
+            cluster.sim.run_for(ms(5))
+            campaign.heal_all()
+            assert heal_log == ["t_heal_c", "t_heal_b", "t_heal_a"]
+        finally:
+            self._unregister(names)
+
+    def test_heal_all_skips_already_fired_scheduled_heal(self):
+        heal_log = []
+        names = ["t_heal_x", "t_heal_y"]
+        self._register_counting_kinds(names, heal_log)
+        try:
+            campaign = FaultCampaign(
+                [
+                    FaultEvent(ms(1), FaultSpec("t_heal_x")),
+                    # Scheduled heal fires at ms(2), before heal_all.
+                    FaultEvent(ms(1), FaultSpec("t_heal_y"), until_ns=ms(2)),
+                ]
+            )
+            cluster = build_cluster(ClusterOptions(num_clients=1, seed=5))
+            campaign.arm(cluster)
+            cluster.sim.run_for(ms(4))
+            assert heal_log == ["t_heal_y"]
+            campaign.heal_all()
+            # t_heal_y must NOT be restored a second time.
+            assert heal_log == ["t_heal_y", "t_heal_x"]
+        finally:
+            self._unregister(names)
+
+    def test_heal_all_is_idempotent(self):
+        heal_log = []
+        names = ["t_heal_once"]
+        self._register_counting_kinds(names, heal_log)
+        try:
+            campaign = FaultCampaign([FaultEvent(ms(1), FaultSpec("t_heal_once"))])
+            cluster = build_cluster(ClusterOptions(num_clients=1, seed=5))
+            campaign.arm(cluster)
+            cluster.sim.run_for(ms(2))
+            campaign.heal_all()
+            campaign.heal_all()
+            assert heal_log == ["t_heal_once"]
+        finally:
+            self._unregister(names)
